@@ -1,0 +1,25 @@
+"""E10 — Ablations (paper Section 6, conclusions).
+
+Paper claims: with static cluster knowledge the algorithm works "albeit
+with less satisfying performance"; with no cluster information at all
+(every host its own cluster) it "still can be used".
+"""
+
+from repro.experiments import run_e10_ablation
+
+
+def test_e10_ablation(run_experiment):
+    result = run_experiment(run_e10_ablation)
+    by_variant = {r["variant"]: r for r in result.rows}
+    # Everything still delivers.
+    for row in result.rows:
+        assert row["delivered"] == 1.0, row
+    dynamic = by_variant["dynamic clusters (paper)"]
+    singleton = by_variant["no cluster info (singletons)"]
+    static = by_variant["static clusters"]
+    # No cluster information costs markedly more inter-cluster traffic.
+    assert singleton["inter_cluster_per_msg"] > \
+        1.5 * dynamic["inter_cluster_per_msg"]
+    # Static knowledge lands in the same ballpark as dynamic.
+    assert static["inter_cluster_per_msg"] < \
+        2 * dynamic["inter_cluster_per_msg"]

@@ -1,0 +1,15 @@
+"""E11 — Figure 3.2: the host parent graph induces a cluster tree
+(paper Section 4.1/4.3).
+
+Paper claim: the attachment procedure dynamically settles into a host
+parent graph that is a tree rooted at the source, with exactly one
+leader per cluster whose children include all its cluster mates.
+"""
+
+from repro.experiments import run_e11_fig32
+
+
+def test_e11_fig32(run_experiment):
+    result = run_experiment(run_e11_fig32)
+    for row in result.rows:
+        assert row["violations"] == 0, (row, result.notes)

@@ -1,0 +1,21 @@
+"""E12 — Extension: comparison against anti-entropy epidemic broadcast
+([Deme87], cited by the paper for the unknown-membership setting).
+
+Expected shape: epidemic gossip delivers reliably but, being blind to
+link costs, pays far more inter-cluster traffic and higher delay than
+the cluster tree.
+"""
+
+from repro.experiments import run_e12_epidemic
+
+
+def test_e12_epidemic(run_experiment):
+    result = run_experiment(run_e12_epidemic)
+    by_protocol = {r["protocol"]: r for r in result.rows}
+    for row in result.rows:
+        assert row["delivered"] == 1.0, row
+    tree = by_protocol["tree"]["inter_cluster_per_msg"]
+    assert tree < by_protocol["epidemic"]["inter_cluster_per_msg"]
+    assert tree < by_protocol["basic"]["inter_cluster_per_msg"]
+    assert by_protocol["tree"]["delay_mean"] < \
+        by_protocol["epidemic"]["delay_mean"]

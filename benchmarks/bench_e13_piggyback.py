@@ -1,0 +1,26 @@
+"""E13 — Control piggybacking (paper Section 6, optimizations).
+
+Paper claim: "some control messages that are dispatched by the same
+host at about the same time can be piggybacked in one packet."  The
+saving grows with concurrency (multiple protocol instances sharing a
+host's port).
+"""
+
+from conftest import rows_by
+
+from repro.experiments import run_e13_piggyback
+
+
+def test_e13_piggyback(run_experiment):
+    result = run_experiment(run_e13_piggyback)
+    for row in result.rows:
+        assert row["delivered"], row
+    # With several sources, bundling measurably reduces control packets.
+    for sources in (2, 3):
+        (plain,) = rows_by(result, sources=sources, piggyback=False)
+        (bundled,) = rows_by(result, sources=sources, piggyback=True)
+        assert bundled["control_packets"] < plain["control_packets"], sources
+        assert bundled["bundles"] > 0
+    (b3,) = rows_by(result, sources=3, piggyback=True)
+    (p3,) = rows_by(result, sources=3, piggyback=False)
+    assert b3["control_packets"] < 0.9 * p3["control_packets"]

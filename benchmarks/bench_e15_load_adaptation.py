@@ -1,0 +1,23 @@
+"""E15 — Delay adaptation to changing load (paper Section 3).
+
+Paper claim: "at a later time, due to changing message traffic, some
+other cluster can become a more desirable parent ... we may have to
+dynamically restructure the cluster tree to minimize delays."  Case II
+option 3 is the mechanism; this benchmark shifts cross-traffic onto the
+tree's current path mid-run and measures whether the leader migrates.
+"""
+
+from conftest import rows_by
+
+from repro.experiments import run_e15_load_adaptation
+
+
+def test_e15_load_adaptation(run_experiment):
+    result = run_experiment(run_e15_load_adaptation)
+    (on,) = rows_by(result, delay_optimization=True)
+    (off,) = rows_by(result, delay_optimization=False)
+    assert on["delivered"] and off["delivered"]
+    assert on["leader_migrated"] is True
+    assert off["leader_migrated"] is False
+    # The whole point: II.3 cuts post-shift delay substantially.
+    assert on["phase2_delay_mean"] < 0.6 * off["phase2_delay_mean"]

@@ -1,0 +1,23 @@
+"""E16 — Host-level cost inference vs clock skew (paper Section 2).
+
+The paper suggests inferring whether a delivery crossed an expensive
+link from the message's time in transit.  That comparison of one-way
+delays implicitly assumes host clocks agree to within the
+cheap/expensive transit gap.  This benchmark makes the assumption
+explicit: accuracy is perfect for sub-millisecond offsets, degrades as
+offsets approach the transit gap, and delivery is never endangered
+(CLUSTER sets are advisory, not safety-critical).
+"""
+
+from repro.experiments import run_e16_clock_skew
+
+
+def test_e16_clock_skew(run_experiment):
+    result = run_experiment(run_e16_clock_skew)
+    rows = sorted(result.rows, key=lambda r: r["max_offset_s"])
+    for row in rows:
+        assert row["delivered"], row          # delivery always survives
+    assert rows[0]["cluster_accuracy"] == 1.0  # perfect clocks -> perfect
+    assert rows[1]["cluster_accuracy"] == 1.0  # 1 ms skew: still perfect
+    # Accuracy is (weakly) worse at the largest offset than with none.
+    assert rows[-1]["cluster_accuracy"] < rows[0]["cluster_accuracy"] - 0.2

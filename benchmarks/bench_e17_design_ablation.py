@@ -1,0 +1,28 @@
+"""E17 — Implementation-mechanism ablations (DESIGN.md section 4).
+
+Not a paper claim: these mechanisms fill gaps the paper's prose leaves
+open, and each was added in response to an observed failure or waste
+pattern.  The benchmark re-runs the stress regime (mass catch-up after
+a half-network partition heals, through 56 kbit/s trunks) with each
+mechanism disabled.
+"""
+
+from conftest import rows_by
+
+from repro.experiments import run_e17_design_ablation
+
+
+def test_e17_design_ablation(run_experiment):
+    result = run_experiment(run_e17_design_ablation)
+    by_variant = {r["variant"]: r for r in result.rows}
+    for row in result.rows:
+        assert row["delivered_fraction"] == 1.0, row
+    full = by_variant["full protocol"]
+    no_suppression = by_variant["no gap-fill suppression"]
+    tiny_batch = by_variant["tiny inter batch (1)"]
+    # Suppression cuts duplicate fills and speeds catch-up.
+    assert no_suppression["duplicates"] > full["duplicates"]
+    assert no_suppression["gapfills"] > full["gapfills"]
+    assert no_suppression["completion_s"] > full["completion_s"]
+    # Starving the catch-up batch stretches completion severely.
+    assert tiny_batch["completion_s"] > 2 * full["completion_s"]

@@ -1,0 +1,24 @@
+"""E18 — Relative reliability (paper Section 1).
+
+Paper: "it seems more justified to speak of relative reliability of a
+protocol, referring to the degree to which it is capable of utilizing
+communication opportunities presented by the dynamically changing
+network."  This benchmark grants 10-second connectivity windows and
+scores each tuning by the fraction of granted opportunities it used.
+"""
+
+from repro.experiments import run_e18_relative_reliability
+
+
+def test_e18_relative_reliability(run_experiment):
+    result = run_experiment(run_e18_relative_reliability)
+    rows = sorted(result.rows, key=lambda r: r["scale_factor"])
+    # Fast exchange uses every opportunity it is given.
+    assert rows[0]["relative_reliability"] == 1.0
+    # Slow exchange misses granted windows — lower relative reliability,
+    # at proportionally lower control cost.
+    assert rows[-1]["relative_reliability"] < 0.8
+    assert rows[-1]["control_sent"] < rows[0]["control_sent"] / 4
+    # Relative reliability is weakly monotone in exchange frequency.
+    values = [r["relative_reliability"] for r in rows]
+    assert all(a >= b - 0.05 for a, b in zip(values, values[1:]))

@@ -1,0 +1,16 @@
+"""E19 — Cost optimality over multi-server clusters.
+
+The paper's clusters are defined by cheap connectivity, not by sharing
+one switch.  This benchmark rebuilds the E1 cost claim over clusters
+that are rings of several servers (multi-hop cheap paths) and asserts
+the k-1 optimum survives the topology generalization.
+"""
+
+from repro.experiments import run_e19_hierarchical
+
+
+def test_e19_hierarchical(run_experiment):
+    result = run_experiment(run_e19_hierarchical)
+    for row in result.rows:
+        assert row["delivered"], row
+        assert row["tree"] <= row["optimal"] * 1.4 + 0.3, row

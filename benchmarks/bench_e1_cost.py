@@ -1,0 +1,27 @@
+"""E1 — Inter-cluster transmissions per message (paper Section 5, cost).
+
+Paper claim: the cluster tree needs k-1 inter-cluster transmissions per
+data message (optimal); the basic algorithm needs at least k-1 and
+"probably more if there is more than one host per cluster".
+"""
+
+from conftest import rows_by
+
+from repro.experiments import run_e1_cost
+
+
+def test_e1_cost(run_experiment):
+    result = run_experiment(run_e1_cost)
+    for row in result.rows:
+        # Tree within 1.6x of the k-1 optimum everywhere.
+        assert row["tree"] <= row["optimal"] * 1.6 + 0.5, row
+        # Basic is never cheaper once clusters hold several hosts.
+        if row["hosts_per_cluster"] >= 2:
+            assert row["basic"] >= row["tree"], row
+    # Basic's cost grows with hosts per cluster; the tree's does not.
+    tree_m1 = [r["tree"] for r in result.rows if r["hosts_per_cluster"] == 1]
+    tree_m4 = [r["tree"] for r in result.rows if r["hosts_per_cluster"] == 4]
+    basic_m1 = [r["basic"] for r in result.rows if r["hosts_per_cluster"] == 1]
+    basic_m4 = [r["basic"] for r in result.rows if r["hosts_per_cluster"] == 4]
+    assert sum(basic_m4) > 2 * sum(basic_m1)
+    assert sum(tree_m4) < 1.5 * sum(tree_m1) + 1.0

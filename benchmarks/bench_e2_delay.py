@@ -1,0 +1,22 @@
+"""E2 — Delivery delay, tree vs basic (paper Section 5, delay).
+
+Paper claim: "our algorithm appears to be comparable with the basic
+one" on delay — the basic algorithm rides the network's shortest paths,
+the tree pays extra host hops but avoids serializing one copy per
+destination at the source.
+"""
+
+from repro.experiments import run_e2_delay
+
+
+def test_e2_delay(run_experiment):
+    result = run_experiment(run_e2_delay)
+    for row in result.rows:
+        hosts = row["clusters"] * row["hosts_per_cluster"]
+        if hosts <= 12:
+            # Comparable: within 3x of each other at moderate scale.
+            assert row["tree_mean"] < 3 * row["basic_mean"] + 0.05, row
+    # At the largest point the basic algorithm's source serialization
+    # shows up; the tree must not be the one collapsing.
+    last = result.rows[-1]
+    assert last["tree_mean"] < last["basic_mean"] * 2

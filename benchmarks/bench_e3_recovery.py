@@ -1,0 +1,21 @@
+"""E3 — Recovery locality under loss (paper Section 5, recovery).
+
+Paper claim: lost messages are redelivered "either by one of its
+cluster neighbors or by a host from the parent cluster"; in the basic
+algorithm "the source itself would always have to enact a redelivery".
+"""
+
+from conftest import rows_by
+
+from repro.experiments import run_e3_recovery
+
+
+def test_e3_recovery(run_experiment):
+    result = run_experiment(run_e3_recovery)
+    for row in rows_by(result, protocol="basic"):
+        assert row["from_source_fraction"] == 1.0, row
+        assert row["delivered"] == 1.0, row
+    for row in rows_by(result, protocol="tree"):
+        assert row["delivered"] == 1.0, row
+        assert row["local_fraction"] > 0.3, row
+        assert row["from_source_fraction"] < 0.8, row

@@ -1,0 +1,20 @@
+"""E4 — Behavior during and after a partition (paper Section 5).
+
+Paper claim: "the source, using the basic algorithm, does not stop
+trying to send data messages to all the hosts that are cut off from it,
+which is wasteful"; the tree-side hosts organize and "only the root
+will periodically probe".  Both complete after the repair.
+"""
+
+from conftest import rows_by
+
+from repro.experiments import run_e4_partition
+
+
+def test_e4_partition(run_experiment):
+    result = run_experiment(run_e4_partition)
+    (tree,) = rows_by(result, protocol="tree")
+    (basic,) = rows_by(result, protocol="basic")
+    assert tree["delivered_all"] and basic["delivered_all"]
+    assert basic["sends_toward_partitioned_per_s"] > \
+        2 * tree["sends_toward_partitioned_per_s"]

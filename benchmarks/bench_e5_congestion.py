@@ -1,0 +1,24 @@
+"""E5 — Source-server congestion (paper Section 5).
+
+Paper claim: "the basic algorithm can cause congestion of the source
+host's server since data messages go out separately to every host. Our
+algorithm does not present such a problem."
+"""
+
+from conftest import rows_by
+
+from repro.experiments import run_e5_congestion
+
+
+def test_e5_congestion(run_experiment):
+    result = run_experiment(run_e5_congestion)
+    for hosts in sorted({r["hosts"] for r in result.rows}):
+        (tree,) = rows_by(result, hosts=hosts, protocol="tree")
+        (basic,) = rows_by(result, hosts=hosts, protocol="basic")
+        assert basic["concentration"] > 2 * tree["concentration"], hosts
+        assert basic["source_access_tx_per_msg"] > \
+            tree["source_access_tx_per_msg"], hosts
+    # Basic's concentration grows with N; the tree's stays flat.
+    basic_rows = sorted(rows_by(result, protocol="basic"),
+                        key=lambda r: r["hosts"])
+    assert basic_rows[-1]["concentration"] > 2 * basic_rows[0]["concentration"]

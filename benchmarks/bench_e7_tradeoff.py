@@ -1,0 +1,20 @@
+"""E7 — Reliability vs cost under brief connectivity (paper Section 6).
+
+Paper claim: "The more frequently this is done, the more chance we will
+have to use the brief interval to deliver the message, and, at the same
+time, the more costly the algorithm will be."
+"""
+
+from repro.experiments import run_e7_tradeoff
+
+
+def test_e7_tradeoff(run_experiment):
+    result = run_experiment(run_e7_tradeoff)
+    rows = sorted(result.rows, key=lambda r: r["scale_factor"])
+    # Cost strictly decreases as exchange slows down.
+    for faster, slower in zip(rows, rows[1:]):
+        assert faster["control_sent"] > slower["control_sent"]
+    # Reliability is (weakly) monotone: the fastest setting delivers at
+    # least as much as the slowest, with a real gap across the sweep.
+    assert rows[0]["delivered_fraction"] >= rows[-1]["delivered_fraction"]
+    assert rows[0]["delivered_fraction"] - rows[-1]["delivered_fraction"] > 0.3

@@ -1,0 +1,19 @@
+"""E8 — Figure 3.1: host-level broadcast vs the multicast lower bound.
+
+Paper claim (Section 3): with nonprogrammable servers, "no matter what
+type of protocol one comes up with ... it will not, in general, have
+optimal performance" — on the Figure 3.1 diamond the in-network optimum
+traverses every link once (6), while any host-level scheme must cross
+the s1-s4 trunk twice (8).
+"""
+
+from repro.experiments import run_e8_fig31
+
+
+def test_e8_fig31(run_experiment):
+    result = run_experiment(run_e8_fig31)
+    by_scheme = {r["scheme"]: r["link_traversals_per_msg"] for r in result.rows}
+    assert by_scheme["server multicast (lower bound)"] == 6.0
+    assert 7.5 <= by_scheme["basic"] <= 8.5
+    assert 7.5 <= by_scheme["tree"] <= 9.0
+    assert by_scheme["tree"] > by_scheme["server multicast (lower bound)"]

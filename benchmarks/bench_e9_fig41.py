@@ -1,0 +1,21 @@
+"""E9 — Figure 4.1: non-neighbor gap filling (paper Section 4.4).
+
+Paper scenario: source s isolated; i holds {1,3}, j holds {2,3}.
+Neither INFO set precedes the other so no re-parenting is possible, and
+i, j are not parent-graph neighbors — yet both must end with {1,2,3},
+each supplied by the other.
+"""
+
+from repro.experiments import run_e9_fig41
+
+
+def test_e9_fig41(run_experiment):
+    result = run_experiment(run_e9_fig41)
+    by_host = {r["host"]: r for r in result.rows}
+    assert by_host["i"]["before"] == "[1, 3]"
+    assert by_host["j"]["before"] == "[2, 3]"
+    for row in result.rows:
+        assert row["after"] == "[1, 2, 3]", row
+        assert row["reattached"] is False, row
+    assert by_host["i"]["gap_supplier"] == "j"
+    assert by_host["j"]["gap_supplier"] == "i"

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs its experiment exactly once (``rounds=1``): these
+are deterministic simulations, so repetition only measures Python's
+noise, and a single round keeps the full suite fast while still
+recording wall time per experiment through pytest-benchmark.
+
+Each benchmark also prints the experiment's paper-style table (visible
+with ``pytest benchmarks/ --benchmark-only -s``) and asserts the
+qualitative claims so a regression in protocol behavior fails the
+benchmark suite, not just the unit tests.
+"""
+
+from typing import Callable
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment runner once under pytest-benchmark."""
+
+    def runner(fn: Callable, **kwargs):
+        result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1,
+                                    iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return runner
+
+
+def rows_by(result, **filters):
+    """Filter an ExperimentResult's rows by column values."""
+    return [r for r in result.rows
+            if all(r[k] == v for k, v in filters.items())]

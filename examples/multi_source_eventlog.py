@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Multiple sources + FIFO ordering: a distributed event log.
+
+The paper studies single-source broadcast and prescribes the extension
+(Section 2): "a multiple-source broadcast can be performed reliably by
+running several identical single-source protocols."  This example runs
+three publishing sites over one WAN, each with its own protocol
+instance multiplexed over the hosts' single network attachments, with
+two optional layers on top:
+
+* per-source FIFO ordering (``FifoDeliveryAdapter``) so every
+  subscriber sees each publisher's events in publication order;
+* control-message piggybacking (Section 6), which pays off here because
+  the parallel instances heartbeat the same neighbors.
+
+Run:  python examples/multi_source_eventlog.py
+"""
+
+from collections import defaultdict
+
+from repro import HostId, ProtocolConfig, Simulator, wan_of_lans
+from repro.core import FifoDeliveryAdapter, MultiSourceBroadcastSystem
+
+PUBLISHERS = ["h0.0", "h1.0", "h2.0"]
+EVENTS_PER_PUBLISHER = 8
+
+
+def main() -> None:
+    sim = Simulator(seed=17)
+    topology = wan_of_lans(sim, clusters=3, hosts_per_cluster=2,
+                           backbone="line")
+    sources = [HostId(name) for name in PUBLISHERS]
+
+    # Per-(host, publisher) ordered event logs: each publisher's stream
+    # runs through its own FIFO adapter so subscribers see publication
+    # order per source.
+    logs = defaultdict(list)
+    adapters = {
+        source: FifoDeliveryAdapter(
+            lambda host, record, src=source: logs[(host, src)].append(
+                record.content))
+        for source in sources
+    }
+
+    config = ProtocolConfig.for_scale(6, enable_piggybacking=True)
+    system = MultiSourceBroadcastSystem(
+        topology, sources=sources, config=config,
+        deliver_callback=lambda src, host, record:
+            adapters[src].on_deliver(host, record)).start()
+
+    for idx, source in enumerate(sources):
+        for k in range(EVENTS_PER_PUBLISHER):
+            sim.schedule_at(2.0 + k * 1.0 + idx * 0.3,
+                            lambda s=source, k=k: system.broadcast(
+                                s, f"{s}-event-{k + 1}"))
+
+    ok = system.run_until_delivered(
+        {s: EVENTS_PER_PUBLISHER for s in sources}, timeout=400.0)
+    print(f"all {len(sources)} publishers' events delivered everywhere: {ok}")
+
+    subscriber = HostId("h2.1")
+    print(f"\nevent log at {subscriber} (per publisher, in FIFO order):")
+    for source in sources:
+        events = logs[(subscriber, source)]
+        print(f"  from {source}: {len(events)} events, "
+              f"first={events[0]}, last={events[-1]}")
+        expected = [f"{source}-event-{k + 1}"
+                    for k in range(EVENTS_PER_PUBLISHER)]
+        assert events == expected, "FIFO violated!"
+
+    bundles = sim.metrics.counter("piggyback.bundles").value
+    saved = sim.metrics.counter("piggyback.bundled_messages").value - bundles
+    print(f"\npiggybacking combined {saved:.0f} control packets away "
+          f"({bundles:.0f} bundles sent)")
+
+
+if __name__ == "__main__":
+    main()

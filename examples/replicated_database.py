@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Replicated database update propagation — the paper's motivating app.
+
+Section 1 motivates the protocol with "management of highly available
+replicated databases": every site keeps a full copy, updates are
+broadcast, and approaches like DataPatch/log transformation tolerate
+out-of-order installation — which is exactly the ordering guarantee the
+protocol gives (eventual, not FIFO).
+
+This example runs a small key-value database replicated across three
+sites.  Updates are *commutative per key* (last-writer-wins by update
+id), so replicas converge no matter the delivery order.  Mid-stream,
+one site is partitioned away; after the repair, the protocol's gap
+filling brings its replica back in sync without any help from the
+application.
+
+Run:  python examples/replicated_database.py
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro import BroadcastSystem, HostId, ProtocolConfig, Simulator, wan_of_lans
+from repro.net import PartitionScheduler, host_group
+
+
+@dataclass(frozen=True)
+class Update:
+    """One database write: set key := value, stamped with an update id."""
+
+    update_id: int
+    key: str
+    value: int
+
+
+class Replica:
+    """A last-writer-wins key-value store fed by broadcast deliveries."""
+
+    def __init__(self) -> None:
+        self.data: Dict[str, Tuple[int, int]] = {}  # key -> (update_id, value)
+        self.applied = 0
+
+    def apply(self, update: Update) -> None:
+        self.applied += 1
+        current = self.data.get(update.key)
+        if current is None or update.update_id > current[0]:
+            self.data[update.key] = (update.update_id, update.value)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {key: value for key, (_, value) in sorted(self.data.items())}
+
+
+def main() -> None:
+    sim = Simulator(seed=7)
+    topology = wan_of_lans(sim, clusters=3, hosts_per_cluster=2,
+                           backbone="line")
+    replicas: Dict[HostId, Replica] = {h: Replica() for h in topology.hosts}
+
+    def on_deliver(host, record):
+        replicas[host].apply(record.content)
+
+    system = BroadcastSystem(topology, config=ProtocolConfig.for_scale(6),
+                             deliver_callback=on_deliver).start()
+
+    # The primary site (the source) issues 30 updates over 30 seconds...
+    keys = ["alpha", "beta", "gamma"]
+    for k in range(30):
+        update = Update(update_id=k + 1, key=keys[k % len(keys)], value=k * 10)
+        sim.schedule_at(2.0 + k, lambda u=update: system.source.broadcast(u))
+
+    # ...while site 2 drops off the network between t=10 and t=35.
+    scheduler = PartitionScheduler(sim, topology.network)
+    cut_group = host_group(topology.network, topology.clusters[2]) + ["s2"]
+    scheduler.isolate(cut_group, start=10.0, end=35.0)
+
+    sim.run(until=34.0)
+    behind = topology.clusters[2][0]
+    print(f"during the partition, {behind} has applied "
+          f"{replicas[behind].applied}/30 updates")
+
+    ok = system.run_until_delivered(30, timeout=300.0)
+    print(f"\nafter the repair, all updates delivered everywhere: {ok}")
+
+    reference = replicas[system.source_id].snapshot()
+    print(f"primary replica state: {reference}")
+    divergent = [str(h) for h, r in replicas.items() if r.snapshot() != reference]
+    print(f"replicas diverging from the primary: {divergent or 'none'}")
+
+    out_of_order = sum(system.hosts[h].deliveries.out_of_order_count()
+                       for h in topology.hosts)
+    print(f"updates installed out of order (allowed by design): {out_of_order}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The reliability <-> cost trade-off (paper Section 6).
+
+Two clusters are partitioned almost permanently; the trunk comes up for
+only 4 seconds out of every 30.  How many of the broadcast messages
+make it across depends on how aggressively hosts exchange INFO sets and
+probe for parents — and so does the control-message bill.
+
+This example sweeps one knob (a global scale factor on all protocol
+periods) and prints the resulting trade-off curve.
+
+Run:  python examples/tuning_tradeoffs.py
+"""
+
+from repro import BroadcastSystem, ProtocolConfig, Simulator, wan_of_lans
+from repro.analysis import Table, delivery_fraction, traffic_report
+from repro.scenarios import BriefWindowSchedule, WindowSpec
+
+HORIZON = 150.0
+MESSAGES = 10
+TRIALS = 5
+
+
+def one_trial(factor: float, seed: int):
+    sim = Simulator(seed=seed)
+    topology = wan_of_lans(sim, clusters=2, hosts_per_cluster=2,
+                           backbone="line")
+    window = WindowSpec(period=30.0, width=4.0, first_open=20.0)
+    BriefWindowSchedule(sim, topology, topology.backbone, window,
+                        until=HORIZON)
+    config = ProtocolConfig(data_size_bits=4000).scaled(factor)
+    system = BroadcastSystem(topology, config=config).start()
+    system.broadcast_stream(MESSAGES, interval=0.5, start_at=5.0)
+    sim.run(until=HORIZON)
+    cut_hosts = [h for h in topology.hosts if str(h).startswith("h1")]
+    records = system.delivery_records()
+    fraction = delivery_fraction({h: records[h] for h in cut_hosts}, MESSAGES)
+    return fraction, traffic_report(sim).control_sent
+
+
+def main() -> None:
+    print(__doc__.strip().splitlines()[0])
+    table = Table(["period scale", "messages across", "control msgs sent"],
+                  title=f"\n{TRIALS}-trial averages, {HORIZON:.0f}s horizon, "
+                        f"trunk up 4s/30s")
+    for factor in (0.25, 0.5, 1.0, 2.0, 4.0):
+        fractions, controls = zip(*(one_trial(factor, seed)
+                                    for seed in range(TRIALS)))
+        table.add_row(f"x{factor}",
+                      f"{sum(fractions)/TRIALS:.0%}",
+                      sum(controls) / TRIALS)
+    print(table.render())
+    print("\nFaster exchange (smaller scale) exploits the brief windows — "
+          "at a proportionally larger control-traffic cost (Section 6).")
+
+
+if __name__ == "__main__":
+    main()

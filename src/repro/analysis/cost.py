@@ -1,0 +1,104 @@
+"""Cost accounting in the paper's metric (Section 5).
+
+The paper approximates broadcast cost by counting **inter-cluster
+host-to-host transmissions** — host-to-host messages whose path crossed
+at least one expensive link.  The network layer stamps exactly this on
+every delivered packet (the cost bit), and the metrics registry keeps
+the counters, so cost reports are pure reads.
+
+`CounterSnapshot` supports *marginal* measurements: snapshot, run a
+stream, subtract — which is how steady-state per-message cost is
+separated from one-time tree-construction cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..sim import Simulator
+
+#: counter names used throughout (single source of truth)
+EXPENSIVE_DATA = "net.h2h.recv.expensive.kind.data"
+EXPENSIVE_CONTROL = "net.h2h.recv.expensive.kind.control"
+ALL_DATA_RECV = "net.h2h.recv.kind.data"
+ALL_CONTROL_RECV = "net.h2h.recv.kind.control"
+ALL_SENT = "net.h2h.sent"
+LINK_TX_TOTAL = "net.link_tx.total"
+LINK_TX_EXPENSIVE = "net.link_tx.expensive"
+LINK_TX_DATA = "net.link_tx.kind.data"
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Cost of a broadcast run, in several granularities."""
+
+    messages: int
+    #: the paper's primary metric, per data message
+    inter_cluster_data_per_msg: float
+    inter_cluster_control_per_msg: float
+    data_transmissions_per_msg: float
+    control_transmissions_per_msg: float
+    link_transmissions_per_msg: float
+    expensive_link_transmissions_per_msg: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form for serialization and reporting."""
+        return {
+            "messages": self.messages,
+            "inter_cluster_data_per_msg": self.inter_cluster_data_per_msg,
+            "inter_cluster_control_per_msg": self.inter_cluster_control_per_msg,
+            "data_transmissions_per_msg": self.data_transmissions_per_msg,
+            "control_transmissions_per_msg": self.control_transmissions_per_msg,
+            "link_transmissions_per_msg": self.link_transmissions_per_msg,
+            "expensive_link_transmissions_per_msg":
+                self.expensive_link_transmissions_per_msg,
+        }
+
+
+class CounterSnapshot:
+    """Snapshot of the cost-relevant counters at one instant."""
+
+    NAMES = [EXPENSIVE_DATA, EXPENSIVE_CONTROL, ALL_DATA_RECV,
+             ALL_CONTROL_RECV, ALL_SENT, LINK_TX_TOTAL, LINK_TX_EXPENSIVE,
+             LINK_TX_DATA]
+
+    def __init__(self, sim: Simulator) -> None:
+        self.values = {name: sim.metrics.counter(name).value for name in self.NAMES}
+
+    def delta(self, sim: Simulator) -> Dict[str, float]:
+        """Counter increases since this snapshot."""
+        return {name: sim.metrics.counter(name).value - self.values[name]
+                for name in self.NAMES}
+
+
+def cost_report(sim: Simulator, messages: int,
+                since: CounterSnapshot = None) -> CostReport:
+    """Build a cost report for ``messages`` data messages.
+
+    With ``since``, only counter increases after the snapshot count —
+    the marginal (steady-state) cost.
+    """
+    if messages <= 0:
+        raise ValueError("messages must be positive")
+    if since is not None:
+        values = since.delta(sim)
+    else:
+        values = {name: sim.metrics.counter(name).value
+                  for name in CounterSnapshot.NAMES}
+    return CostReport(
+        messages=messages,
+        inter_cluster_data_per_msg=values[EXPENSIVE_DATA] / messages,
+        inter_cluster_control_per_msg=values[EXPENSIVE_CONTROL] / messages,
+        data_transmissions_per_msg=values[ALL_DATA_RECV] / messages,
+        control_transmissions_per_msg=values[ALL_CONTROL_RECV] / messages,
+        link_transmissions_per_msg=values[LINK_TX_TOTAL] / messages,
+        expensive_link_transmissions_per_msg=values[LINK_TX_EXPENSIVE] / messages,
+    )
+
+
+def optimal_inter_cluster_cost(clusters: int) -> int:
+    """The paper's lower bound: k−1 inter-cluster transmissions/message."""
+    if clusters < 1:
+        raise ValueError("clusters must be positive")
+    return clusters - 1

@@ -1,0 +1,117 @@
+"""Reliability measures (Sections 1 and 6).
+
+The paper treats reliability as a *relative* measure: the degree to
+which a protocol exploits the communication opportunities the network
+offers.  Operationally we measure:
+
+* **delivery fraction** — of all (host, message) pairs that should have
+  been delivered, how many were;
+* **redelivery locality** — who supplied messages that arrived as gap
+  fills (a cluster neighbor, a host in the parent cluster, or a remote
+  host); the paper argues the tree protocol recovers locally while the
+  basic algorithm always recovers from the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.delivery import DeliveryRecord
+from ..net import HostId, Network
+
+
+def delivery_fraction(
+    records_by_host: Dict[HostId, List[DeliveryRecord]],
+    n_messages: int,
+    source: Optional[HostId] = None,
+) -> float:
+    """Fraction of (host, seq) pairs delivered, over non-source hosts."""
+    if n_messages <= 0:
+        raise ValueError("n_messages must be positive")
+    hosts = [h for h in records_by_host if h != source]
+    if not hosts:
+        return 1.0
+    delivered = 0
+    for host_id in hosts:
+        seqs = {r.seq for r in records_by_host[host_id]}
+        delivered += sum(1 for seq in range(1, n_messages + 1) if seq in seqs)
+    return delivered / (len(hosts) * n_messages)
+
+
+@dataclass(frozen=True)
+class RecoveryLocality:
+    """Who supplied the gap-filled (recovered) deliveries."""
+
+    total_recoveries: int
+    from_same_cluster: int
+    from_other_cluster: int
+    from_source: int
+
+    @property
+    def local_fraction(self) -> float:
+        """Share of recoveries supplied from the same cluster."""
+        if self.total_recoveries == 0:
+            return float("nan")
+        return self.from_same_cluster / self.total_recoveries
+
+    @property
+    def source_fraction(self) -> float:
+        """Share of recoveries supplied by the source itself."""
+        if self.total_recoveries == 0:
+            return float("nan")
+        return self.from_source / self.total_recoveries
+
+
+def recovery_locality(
+    records_by_host: Dict[HostId, List[DeliveryRecord]],
+    network: Network,
+    source: HostId,
+) -> RecoveryLocality:
+    """Classify every gap-filled delivery by its supplier's location.
+
+    Uses the network's ground-truth clusters (an oracle read — this is
+    analysis, not protocol).
+    """
+    cluster_of: Dict[HostId, int] = {}
+    for idx, cluster in enumerate(network.true_clusters()):
+        for host_id in cluster:
+            cluster_of[host_id] = idx
+    total = same = other = from_src = 0
+    for host_id, records in records_by_host.items():
+        if host_id == source:
+            continue
+        for record in records:
+            if not record.via_gapfill:
+                continue
+            total += 1
+            if record.supplier == source:
+                from_src += 1
+            if cluster_of.get(record.supplier) == cluster_of.get(host_id):
+                same += 1
+            else:
+                other += 1
+    return RecoveryLocality(total_recoveries=total, from_same_cluster=same,
+                            from_other_cluster=other, from_source=from_src)
+
+
+def time_to_full_delivery(
+    records_by_host: Dict[HostId, List[DeliveryRecord]],
+    n_messages: int,
+    source: Optional[HostId] = None,
+) -> float:
+    """Virtual time at which the last (host, seq) delivery happened.
+
+    ``nan`` when some pair was never delivered.
+    """
+    latest = 0.0
+    for host_id, records in records_by_host.items():
+        if host_id == source:
+            continue
+        seqs = {r.seq: r for r in records}
+        for seq in range(1, n_messages + 1):
+            record = seqs.get(seq)
+            if record is None:
+                return float("nan")
+            latest = max(latest, record.delivered_at)
+    return latest

@@ -1,0 +1,62 @@
+"""Plain-text tables for benchmark output.
+
+Benchmarks print paper-style rows; this keeps the formatting in one
+place and out of the benchmark logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(cell)
+
+
+class Table:
+    """A fixed-header ASCII table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        if not headers:
+            raise ValueError("table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Cell) -> "Table":
+        """Append one row; cells must match the declared columns."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append([_format_cell(c) for c in cells])
+        return self
+
+    def render(self) -> str:
+        """Render as aligned plain text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for idx, cell in enumerate(row):
+                widths[idx] = max(widths[idx], len(cell))
+
+        def line(cells: Iterable[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        out = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(self.headers))
+        out.append(line("-" * w for w in widths))
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        """Print the rendered table to stdout."""
+        print("\n" + self.render() + "\n")

@@ -1,0 +1,96 @@
+"""Multi-trial aggregation: means, spreads, confidence intervals.
+
+Several experiments average over seeds (E7's brief-window trade-off is
+phase-sensitive, for instance).  These helpers turn per-trial rows into
+aggregate rows with honest uncertainty estimates, using Student's t
+critical values (small-sample correct, no scipy needed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+#: two-sided 95% t critical values by degrees of freedom (1..30)
+_T95 = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042]
+
+
+def t_critical_95(dof: int) -> float:
+    """Two-sided 95 % Student-t critical value (1.96 beyond 30 dof)."""
+    if dof < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if dof <= len(_T95):
+        return _T95[dof - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate of one measured quantity over trials."""
+
+    n: int
+    mean: float
+    stddev: float
+    ci95_half_width: float
+
+    @property
+    def ci_low(self) -> float:
+        """Lower bound of the 95% confidence interval."""
+        return self.mean - self.ci95_half_width
+
+    @property
+    def ci_high(self) -> float:
+        """Upper bound of the 95% confidence interval."""
+        return self.mean + self.ci95_half_width
+
+    def overlaps(self, other: "Summary") -> bool:
+        """Do the two 95 % intervals overlap?  (A cheap significance test.)"""
+        return not (self.ci_high < other.ci_low or other.ci_high < self.ci_low)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean, sample stddev, and 95 % CI half-width of ``values``."""
+    if not values:
+        raise ValueError("cannot summarize zero trials")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(n=1, mean=mean, stddev=0.0,
+                       ci95_half_width=float("nan"))
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stddev = math.sqrt(var)
+    half = t_critical_95(n - 1) * stddev / math.sqrt(n)
+    return Summary(n=n, mean=mean, stddev=stddev, ci95_half_width=half)
+
+
+def aggregate_rows(rows: List[Dict[str, Any]], group_by: Sequence[str],
+                   measures: Sequence[str]) -> List[Dict[str, Any]]:
+    """Group per-trial rows and summarize each measure.
+
+    Output rows carry the grouping keys, plus ``<measure>_mean`` /
+    ``<measure>_ci95`` for each measure and a ``trials`` count.  Group
+    order follows first appearance.
+    """
+    groups: Dict[tuple, List[Dict[str, Any]]] = {}
+    order: List[tuple] = []
+    for row in rows:
+        key = tuple(row[k] for k in group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    out = []
+    for key in order:
+        members = groups[key]
+        aggregated: Dict[str, Any] = dict(zip(group_by, key))
+        aggregated["trials"] = len(members)
+        for measure in measures:
+            summary = summarize([m[measure] for m in members])
+            aggregated[f"{measure}_mean"] = summary.mean
+            aggregated[f"{measure}_ci95"] = summary.ci95_half_width
+        out.append(aggregated)
+    return out

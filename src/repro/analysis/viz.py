@@ -1,0 +1,95 @@
+"""ASCII rendering of protocol and network structure.
+
+Used by examples and handy in test failure messages: a picture of the
+host parent graph or the physical topology says more than a dict of
+parent pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core.engine import BroadcastSystem
+from ..net import HostId, Network
+
+
+def render_parent_graph(system: BroadcastSystem) -> str:
+    """The host parent graph as an indented tree (forest if broken).
+
+    Roots are the source plus any currently parentless hosts; a cycle's
+    members (unreachable from any root) are listed separately.
+    """
+    parents = system.parent_edges()
+    children: Dict[Optional[HostId], List[HostId]] = {}
+    for child, parent in parents.items():
+        children.setdefault(parent, []).append(child)
+
+    lines: List[str] = []
+    seen: Set[HostId] = set()
+
+    def describe(node: HostId) -> str:
+        tags = []
+        if node == system.source_id:
+            tags.append("source")
+        if system.hosts[node].is_cluster_leader:
+            tags.append("leader")
+        host = system.hosts[node]
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        return f"{node} (max={host.info.max_seqno}){suffix}"
+
+    def walk(node: HostId, depth: int) -> None:
+        if node in seen:
+            lines.append("  " * depth + f"{node} (!) already shown")
+            return
+        seen.add(node)
+        lines.append("  " * depth + describe(node))
+        for child in sorted(children.get(node, [])):
+            walk(child, depth + 1)
+
+    roots = sorted(h for h, p in parents.items() if p is None)
+    if system.source_id in roots:
+        roots.remove(system.source_id)
+        roots.insert(0, system.source_id)
+    for root in roots:
+        walk(root, 0)
+    stranded = sorted(h for h in parents if h not in seen)
+    if stranded:
+        lines.append("(on cycles / stranded:)")
+        for node in stranded:
+            if node not in seen:
+                walk(node, 1)
+    return "\n".join(lines)
+
+
+def render_topology(network: Network) -> str:
+    """Servers, attached hosts, and links, grouped by link class."""
+    lines = ["servers:"]
+    for name in network.server_names():
+        server = network.servers[name]
+        hosts = ", ".join(sorted(str(h) for h in server.attached)) or "-"
+        lines.append(f"  {name}: hosts [{hosts}]")
+    cheap, expensive = [], []
+    for link_id in sorted(network.links, key=str):
+        link = network.links[link_id]
+        state = "" if link.up else "  (DOWN)"
+        entry = f"  {link_id}{state}"
+        (expensive if link.spec.expensive else cheap).append(entry)
+    lines.append("cheap links:")
+    lines.extend(cheap or ["  -"])
+    lines.append("expensive links:")
+    lines.extend(expensive or ["  -"])
+    return "\n".join(lines)
+
+
+def render_cluster_view(system: BroadcastSystem) -> str:
+    """Each host's believed cluster next to the ground truth."""
+    lines = ["true clusters:"]
+    for idx, cluster in enumerate(system.network.true_clusters()):
+        members = ", ".join(sorted(str(h) for h in cluster))
+        lines.append(f"  #{idx}: {{{members}}}")
+    lines.append("believed clusters (per host):")
+    for host_id in system.built.hosts:
+        believed = ", ".join(sorted(str(h) for h in
+                                    system.hosts[host_id].cluster.members()))
+        lines.append(f"  {host_id}: {{{believed}}}")
+    return "\n".join(lines)

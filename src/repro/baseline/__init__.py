@@ -1,0 +1,38 @@
+"""Baseline broadcast algorithms the paper compares against.
+
+* :class:`BasicBroadcastSystem` — the paper's "basic algorithm"
+  (Section 1): the source unicasts a separately addressed copy to every
+  host and retransmits until acknowledged.
+* :class:`EpidemicBroadcastSystem` — push-pull anti-entropy gossip
+  ([Deme87]), an extension baseline for experiment E12.
+"""
+
+from .basic import (
+    AckMsg,
+    BasicBroadcastSystem,
+    BasicConfig,
+    BasicReceiver,
+    BasicSource,
+)
+from .common import BaselineHostBase
+from .epidemic import (
+    Digest,
+    EpidemicBroadcastSystem,
+    EpidemicConfig,
+    EpidemicHost,
+    EpidemicSource,
+)
+
+__all__ = [
+    "AckMsg",
+    "BaselineHostBase",
+    "BasicBroadcastSystem",
+    "BasicConfig",
+    "BasicReceiver",
+    "BasicSource",
+    "Digest",
+    "EpidemicBroadcastSystem",
+    "EpidemicConfig",
+    "EpidemicHost",
+    "EpidemicSource",
+]

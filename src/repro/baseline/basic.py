@@ -1,0 +1,231 @@
+"""The paper's *basic algorithm* (Section 1): per-host unicast + acks.
+
+"A simple and obvious way to broadcast a message is to send a
+separately addressed copy of it to every host in the network and repeat
+this process until an acknowledgment is received."
+
+Characteristics the experiments measure against:
+
+* the source transmits one copy per destination — at least k−1 and
+  usually far more inter-cluster transmissions per message;
+* every retransmission (recovery) comes from the source, however
+  "remote" the needy host is;
+* during a partition the source wastefully keeps retransmitting to
+  unreachable hosts;
+* all copies funnel through the source's access link (congestion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.delivery import DeliverCallback, DeliveryRecord
+from ..core.wire import KIND_CONTROL, DataMsg
+from ..net import BuiltTopology, HostId, Packet
+from ..sim import PeriodicTask, Simulator
+from .common import BaselineHostBase
+
+
+@dataclass(frozen=True)
+class AckMsg:
+    """Receiver's acknowledgment for one data message."""
+
+    seq: int
+    sender: HostId
+    size_bits: int = 1_000
+
+    @property
+    def kind(self) -> str:
+        """Payload class tag used for traffic accounting."""
+        return KIND_CONTROL
+
+
+@dataclass(frozen=True)
+class BasicConfig:
+    """Tuning for the basic algorithm."""
+
+    #: how often the source retransmits unacknowledged copies
+    retry_period: float = 2.0
+    #: cap on retransmissions per destination per retry tick
+    retry_batch_limit: int = 20
+    data_size_bits: int = 8_000
+    ack_size_bits: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.retry_period <= 0:
+            raise ValueError("retry_period must be positive")
+        if self.retry_batch_limit < 1:
+            raise ValueError("retry_batch_limit must be at least 1")
+
+
+class BasicReceiver(BaselineHostBase):
+    """Accepts data, always acks (acks themselves can be lost)."""
+
+    def __init__(self, sim, port, source: HostId, config: BasicConfig,
+                 deliver_callback: Optional[DeliverCallback] = None) -> None:
+        super().__init__(sim, port, deliver_callback)
+        self.source = source
+        self.config = config
+        port.set_receiver(self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        payload = packet.payload
+        if isinstance(payload, DataMsg):
+            self.accept_data(payload, packet.src)
+            self.port.send(self.source, AckMsg(
+                seq=payload.seq, sender=self.me,
+                size_bits=self.config.ack_size_bits))
+
+
+class BasicSource(BaselineHostBase):
+    """The source: unicasts to each host, retries until acked."""
+
+    def __init__(self, sim, port, receivers: List[HostId], config: BasicConfig,
+                 deliver_callback: Optional[DeliverCallback] = None) -> None:
+        super().__init__(sim, port, deliver_callback)
+        self.receivers = sorted(h for h in receivers if h != self.me)
+        self.config = config
+        self._next_seq = 1
+        #: outstanding (host, seq) pairs awaiting acknowledgment
+        self.unacked: Set[Tuple[HostId, int]] = set()
+        port.set_receiver(self._on_packet)
+        self._retry_task = PeriodicTask(
+            sim, config.retry_period, self._retry_tick,
+            jitter=config.retry_period * 0.1,
+            rng_stream=f"basic.{self.me}.retry", name="basic_retry")
+
+    def start(self) -> "BasicSource":
+        """Start periodic activity; returns self for chaining."""
+        self._retry_task.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop periodic activity; safe to call more than once."""
+        self._retry_task.stop()
+
+    # ------------------------------------------------------------------
+
+    def broadcast(self, content: object = None) -> int:
+        """Send one new message: a separately addressed copy per host."""
+        seq = self._next_seq
+        self._next_seq += 1
+        msg = DataMsg(seq=seq, content=content, created_at=self.sim.now,
+                      origin=self.me, size_bits=self.config.data_size_bits)
+        self.store[seq] = msg
+        self.deliveries.record(DeliveryRecord(
+            seq=seq, content=content, created_at=self.sim.now,
+            delivered_at=self.sim.now, supplier=self.me, via_gapfill=False))
+        self.sim.trace.emit("source.broadcast", str(self.me), seq=seq)
+        self.sim.metrics.counter("proto.source.broadcasts").inc()
+        for host in self.receivers:
+            self.port.send(host, msg)
+            self.unacked.add((host, seq))
+        return seq
+
+    def _on_packet(self, packet: Packet) -> None:
+        payload = packet.payload
+        if isinstance(payload, AckMsg):
+            self.unacked.discard((payload.sender, payload.seq))
+
+    def _retry_tick(self) -> None:
+        budget: Dict[HostId, int] = {}
+        for host, seq in sorted(self.unacked, key=lambda p: (str(p[0]), p[1])):
+            if budget.get(host, 0) >= self.config.retry_batch_limit:
+                continue
+            budget[host] = budget.get(host, 0) + 1
+            msg = self.store[seq]
+            self.port.send(host, DataMsg(
+                seq=msg.seq, content=msg.content, created_at=msg.created_at,
+                origin=msg.origin, gapfill=True,
+                size_bits=self.config.data_size_bits))
+            self.sim.metrics.counter("basic.retransmissions").inc()
+            self.sim.trace.emit("basic.retry", str(self.me), target=str(host),
+                                seq=seq)
+
+
+class BasicBroadcastSystem:
+    """The basic algorithm deployed over a topology.
+
+    API mirrors :class:`repro.core.engine.BroadcastSystem` so analysis
+    code and benchmarks treat the two interchangeably.
+    """
+
+    def __init__(
+        self,
+        built: BuiltTopology,
+        config: Optional[BasicConfig] = None,
+        source: Optional[HostId] = None,
+        deliver_callback: Optional[DeliverCallback] = None,
+    ) -> None:
+        self.built = built
+        self.network = built.network
+        self.sim: Simulator = built.network.sim
+        self.config = config or BasicConfig()
+        self.source_id = source if source is not None else built.source
+        if self.source_id not in built.hosts:
+            raise ValueError(f"source {self.source_id} is not a topology host")
+        self.hosts: Dict[HostId, BaselineHostBase] = {}
+        for host_id in built.hosts:
+            port = self.network.host_port(host_id)
+            if host_id == self.source_id:
+                self.hosts[host_id] = BasicSource(
+                    self.sim, port, built.hosts, self.config, deliver_callback)
+            else:
+                self.hosts[host_id] = BasicReceiver(
+                    self.sim, port, self.source_id, self.config, deliver_callback)
+
+    @property
+    def source(self) -> BasicSource:
+        """The source host agent (root of the broadcast)."""
+        host = self.hosts[self.source_id]
+        assert isinstance(host, BasicSource)
+        return host
+
+    def start(self) -> "BasicBroadcastSystem":
+        """Start periodic activity; returns self for chaining."""
+        self.source.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop periodic activity; safe to call more than once."""
+        self.source.stop()
+
+    def broadcast_stream(
+        self,
+        count: int,
+        interval: float,
+        start_at: float = 0.0,
+        content: Callable[[int], object] = lambda seq: f"msg-{seq}",
+    ) -> None:
+        """Schedule ``count`` broadcasts, one every ``interval`` seconds."""
+        if count < 0 or interval <= 0:
+            raise ValueError("count must be >= 0 and interval positive")
+        for k in range(count):
+            self.sim.schedule_at(start_at + k * interval,
+                                 lambda k=k: self.source.broadcast(content(k + 1)))
+
+    def all_delivered(self, n: int, hosts: Optional[List[HostId]] = None) -> bool:
+        """True when every (given) host has delivered messages 1..n."""
+        targets = hosts if hosts is not None else self.built.hosts
+        return all(self.hosts[h].deliveries.has_all(n) for h in targets)
+
+    def run_until_delivered(
+        self,
+        n: int,
+        timeout: float,
+        hosts: Optional[List[HostId]] = None,
+        check_period: float = 0.5,
+    ) -> bool:
+        """Run until 1..n reach all (given) hosts or ``timeout`` elapses."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if self.all_delivered(n, hosts):
+                return True
+            self.sim.run(until=min(self.sim.now + check_period, deadline))
+        return self.all_delivered(n, hosts)
+
+    def delivery_records(self):
+        """Per-host delivery records, keyed by host id."""
+        return {host_id: host.deliveries.records()
+                for host_id, host in self.hosts.items()}

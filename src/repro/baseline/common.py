@@ -1,0 +1,49 @@
+"""Shared pieces of the baseline broadcast implementations.
+
+Both baselines reuse the tree protocol's :class:`~repro.core.wire.DataMsg`
+payload and :class:`~repro.core.delivery.DeliveryLog`, so the analysis
+layer can compare systems without caring which protocol produced the
+deliveries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.delivery import DeliverCallback, DeliveryLog, DeliveryRecord
+from ..core.wire import DataMsg
+from ..net import HostId, HostPort
+from ..sim import Simulator
+
+
+class BaselineHostBase:
+    """A minimal receiving host: dedup + delivery log."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: HostPort,
+        deliver_callback: Optional[DeliverCallback] = None,
+    ) -> None:
+        self.sim = sim
+        self.port = port
+        self.me = port.host_id
+        self.deliveries = DeliveryLog(self.me, deliver_callback)
+        self.store: Dict[int, DataMsg] = {}
+
+    def accept_data(self, msg: DataMsg, supplier: HostId) -> bool:
+        """Record a data message; returns False for duplicates."""
+        if msg.seq in self.deliveries:
+            self.sim.metrics.counter("proto.data.discard.duplicate").inc()
+            return False
+        self.store[msg.seq] = msg
+        self.deliveries.record(DeliveryRecord(
+            seq=msg.seq, content=msg.content, created_at=msg.created_at,
+            delivered_at=self.sim.now, supplier=supplier,
+            via_gapfill=msg.gapfill))
+        self.sim.trace.emit("host.deliver", str(self.me), seq=msg.seq,
+                            sender=str(supplier), gapfill=msg.gapfill)
+        self.sim.metrics.counter("proto.deliver").inc()
+        self.sim.metrics.histogram("proto.delay").observe(
+            self.sim.now - msg.created_at)
+        return True

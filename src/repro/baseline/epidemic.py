@@ -1,0 +1,244 @@
+"""Anti-entropy epidemic broadcast ([Deme87], cited by the paper).
+
+The paper points at Demers et al.'s epidemic algorithms as the solution
+for the harder setting where hosts do not know all participants.  We
+implement the classic push-pull anti-entropy variant as an extension
+baseline (experiment E12):
+
+* every host periodically picks one random partner and sends it a
+  digest of its INFO set;
+* the partner replies with the messages the requester lacks (push) and
+  its own digest, prompting the requester to send back what the partner
+  lacks (pull);
+* optionally, a new message is eagerly pushed to ``fanout`` random
+  hosts (rumor mongering) to cut initial latency.
+
+Epidemic broadcast ignores link costs entirely — its sync partners are
+uniformly random — which is exactly why the paper's cluster-tree beats
+it on inter-cluster traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.delivery import DeliverCallback, DeliveryRecord
+from ..core.seqnoset import SeqnoSet
+from ..core.wire import KIND_CONTROL, DataMsg
+from ..net import BuiltTopology, HostId, Packet
+from ..sim import PeriodicTask, Simulator
+from .common import BaselineHostBase
+
+
+@dataclass(frozen=True)
+class Digest:
+    """Anti-entropy digest: the sender's INFO snapshot."""
+
+    sender: HostId
+    info: SeqnoSet
+    #: True when this digest is a reply (prevents infinite digest ping-pong)
+    reply: bool = False
+    size_bits: int = 1_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "info", self.info.copy())
+
+    @property
+    def kind(self) -> str:
+        """Payload class tag used for traffic accounting."""
+        return KIND_CONTROL
+
+
+@dataclass(frozen=True)
+class EpidemicConfig:
+    """Tuning for the anti-entropy baseline."""
+
+    sync_period: float = 2.0
+    #: eager push of brand-new messages to this many random hosts
+    fanout: int = 2
+    #: cap on data messages pushed per sync exchange
+    batch_limit: int = 10
+    data_size_bits: int = 8_000
+    digest_size_bits: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.sync_period <= 0:
+            raise ValueError("sync_period must be positive")
+        if self.fanout < 0:
+            raise ValueError("fanout must be non-negative")
+        if self.batch_limit < 1:
+            raise ValueError("batch_limit must be at least 1")
+
+
+class EpidemicHost(BaselineHostBase):
+    """One gossiping host."""
+
+    def __init__(self, sim, port, participants: List[HostId],
+                 config: EpidemicConfig,
+                 deliver_callback: Optional[DeliverCallback] = None) -> None:
+        super().__init__(sim, port, deliver_callback)
+        self.participants = sorted(h for h in participants if h != self.me)
+        self.config = config
+        self.info = SeqnoSet()
+        self._rng = sim.rng.stream(f"epidemic.{self.me}")
+        port.set_receiver(self._on_packet)
+        self._sync_task = PeriodicTask(
+            sim, config.sync_period, self._sync_tick,
+            jitter=config.sync_period * 0.2,
+            rng_stream=f"epidemic.{self.me}.sync", name="epidemic_sync")
+
+    def start(self) -> "EpidemicHost":
+        """Start periodic activity; returns self for chaining."""
+        self._sync_task.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop periodic activity; safe to call more than once."""
+        self._sync_task.stop()
+
+    # ------------------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        payload = packet.payload
+        if isinstance(payload, DataMsg):
+            if payload.seq not in self.info:
+                self.info.add(payload.seq)
+                self.accept_data(payload, packet.src)
+            else:
+                self.sim.metrics.counter("proto.data.discard.duplicate").inc()
+        elif isinstance(payload, Digest):
+            self._answer_digest(payload, packet.src)
+
+    def _answer_digest(self, digest: Digest, sender: HostId) -> None:
+        # Push what the partner lacks.
+        missing = self.info.difference(digest.info,
+                                       limit=self.config.batch_limit)
+        for seq in missing:
+            msg = self.store.get(seq)
+            if msg is not None:
+                self.port.send(sender, DataMsg(
+                    seq=msg.seq, content=msg.content,
+                    created_at=msg.created_at, origin=msg.origin,
+                    gapfill=True, size_bits=self.config.data_size_bits))
+                self.sim.metrics.counter("epidemic.pushed").inc()
+        # Pull: reply with our digest once so the partner can push back.
+        if not digest.reply:
+            self.port.send(sender, Digest(
+                sender=self.me, info=self.info, reply=True,
+                size_bits=self.config.digest_size_bits))
+
+    def _sync_tick(self) -> None:
+        if not self.participants:
+            return
+        partner = self.participants[self._rng.randrange(len(self.participants))]
+        self.port.send(partner, Digest(sender=self.me, info=self.info,
+                                       size_bits=self.config.digest_size_bits))
+        self.sim.metrics.counter("epidemic.syncs").inc()
+
+
+class EpidemicSource(EpidemicHost):
+    """The host where new messages originate."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._next_seq = 1
+
+    def broadcast(self, content: object = None) -> int:
+        """Issue one new broadcast message; returns its sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        msg = DataMsg(seq=seq, content=content, created_at=self.sim.now,
+                      origin=self.me, size_bits=self.config.data_size_bits)
+        self.info.add(seq)
+        self.store[seq] = msg
+        self.deliveries.record(DeliveryRecord(
+            seq=seq, content=content, created_at=self.sim.now,
+            delivered_at=self.sim.now, supplier=self.me, via_gapfill=False))
+        self.sim.metrics.counter("proto.source.broadcasts").inc()
+        # Rumor mongering: eager push to a few random hosts.
+        if self.participants and self.config.fanout:
+            count = min(self.config.fanout, len(self.participants))
+            for target in self._rng.sample(self.participants, count):
+                self.port.send(target, msg)
+        return seq
+
+
+class EpidemicBroadcastSystem:
+    """Anti-entropy broadcast over a topology (same API as the others)."""
+
+    def __init__(
+        self,
+        built: BuiltTopology,
+        config: Optional[EpidemicConfig] = None,
+        source: Optional[HostId] = None,
+        deliver_callback: Optional[DeliverCallback] = None,
+    ) -> None:
+        self.built = built
+        self.network = built.network
+        self.sim: Simulator = built.network.sim
+        self.config = config or EpidemicConfig()
+        self.source_id = source if source is not None else built.source
+        self.hosts: Dict[HostId, EpidemicHost] = {}
+        for host_id in built.hosts:
+            cls = EpidemicSource if host_id == self.source_id else EpidemicHost
+            self.hosts[host_id] = cls(
+                self.sim, self.network.host_port(host_id), built.hosts,
+                self.config, deliver_callback)
+
+    @property
+    def source(self) -> EpidemicSource:
+        """The source host agent (root of the broadcast)."""
+        host = self.hosts[self.source_id]
+        assert isinstance(host, EpidemicSource)
+        return host
+
+    def start(self) -> "EpidemicBroadcastSystem":
+        """Start periodic activity; returns self for chaining."""
+        for host in self.hosts.values():
+            host.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop periodic activity; safe to call more than once."""
+        for host in self.hosts.values():
+            host.stop()
+
+    def broadcast_stream(
+        self,
+        count: int,
+        interval: float,
+        start_at: float = 0.0,
+        content: Callable[[int], object] = lambda seq: f"msg-{seq}",
+    ) -> None:
+        """Schedule ``count`` broadcasts, one every ``interval`` seconds."""
+        if count < 0 or interval <= 0:
+            raise ValueError("count must be >= 0 and interval positive")
+        for k in range(count):
+            self.sim.schedule_at(start_at + k * interval,
+                                 lambda k=k: self.source.broadcast(content(k + 1)))
+
+    def all_delivered(self, n: int, hosts: Optional[List[HostId]] = None) -> bool:
+        """True when every (given) host has delivered messages 1..n."""
+        targets = hosts if hosts is not None else self.built.hosts
+        return all(self.hosts[h].deliveries.has_all(n) for h in targets)
+
+    def run_until_delivered(
+        self,
+        n: int,
+        timeout: float,
+        hosts: Optional[List[HostId]] = None,
+        check_period: float = 0.5,
+    ) -> bool:
+        """Run until 1..n reach all (given) hosts or ``timeout`` elapses."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if self.all_delivered(n, hosts):
+                return True
+            self.sim.run(until=min(self.sim.now + check_period, deadline))
+        return self.all_delivered(n, hosts)
+
+    def delivery_records(self):
+        """Per-host delivery records, keyed by host id."""
+        return {host_id: host.deliveries.records()
+                for host_id, host in self.hosts.items()}

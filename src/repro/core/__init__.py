@@ -1,0 +1,77 @@
+"""The paper's contribution: the reliable broadcast protocol.
+
+Public surface:
+
+* :class:`BroadcastSystem` — assemble the protocol over a topology.
+* :class:`BroadcastHost` / :class:`SourceHost` — per-host agents.
+* :class:`ProtocolConfig` / :class:`ClusterMode` — tuning knobs.
+* :class:`SeqnoSet` and the INFO partial order — the data structures.
+* :mod:`repro.core.attachment` — the attachment procedure (pure logic).
+"""
+
+from .attachment import (
+    AttachmentPlan,
+    AttachmentView,
+    Candidate,
+    classify_case,
+    plan_attachment,
+)
+from .cluster import ClusterView
+from .config import ClusterMode, CostBitMode, ProtocolConfig
+from .costinfer import PerSenderTransitClassifier, TransitTimeClassifier
+from .delivery import DeliveryLog, DeliveryRecord
+from .engine import BroadcastSystem
+from .host import BroadcastHost
+from .mapstate import MapState
+from .multisource import MultiSourceBroadcastSystem, PortMux, TaggedPayload, VirtualPort
+from .ordering import FifoDeliveryAdapter
+from .piggyback import ControlBundle, PiggybackPort
+from .seqnoset import SeqnoSet, info_equiv, info_leq, info_less
+from .source import SourceHost
+from .wire import (
+    KIND_CONTROL,
+    KIND_DATA,
+    AttachAck,
+    AttachRequest,
+    DataMsg,
+    DetachNotice,
+    InfoMsg,
+)
+
+__all__ = [
+    "AttachAck",
+    "AttachRequest",
+    "AttachmentPlan",
+    "AttachmentView",
+    "BroadcastHost",
+    "BroadcastSystem",
+    "Candidate",
+    "ControlBundle",
+    "ClusterMode",
+    "CostBitMode",
+    "ClusterView",
+    "DataMsg",
+    "DeliveryLog",
+    "DeliveryRecord",
+    "DetachNotice",
+    "FifoDeliveryAdapter",
+    "InfoMsg",
+    "KIND_CONTROL",
+    "KIND_DATA",
+    "MapState",
+    "MultiSourceBroadcastSystem",
+    "PerSenderTransitClassifier",
+    "PiggybackPort",
+    "PortMux",
+    "TaggedPayload",
+    "VirtualPort",
+    "ProtocolConfig",
+    "SeqnoSet",
+    "SourceHost",
+    "TransitTimeClassifier",
+    "classify_case",
+    "info_equiv",
+    "info_leq",
+    "info_less",
+    "plan_attachment",
+]

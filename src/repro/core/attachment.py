@@ -1,0 +1,205 @@
+"""The attachment procedure (Section 4.2) as pure candidate selection.
+
+This module contains no I/O and no timers: given a snapshot of one
+host's state it computes *which case applies*, *whether an
+intra-cluster cycle must be broken*, and *the ordered list of candidate
+parents* to try.  :class:`repro.core.host.BroadcastHost` drives the
+actual request/ack handshake around this logic, which keeps the paper's
+case analysis directly unit-testable.
+
+Cases (for host *i*, candidate *j*; ``<`` and ``≃`` compare INFO-set
+maxima, see :mod:`repro.core.seqnoset`):
+
+I.  *No parent*:
+    1. j ∈ CLUSTER_i, p_i[j] ∉ CLUSTER_i, MAP_i[i] < MAP_i[j]
+    2. j ∈ CLUSTER_i, p_i[j] ∉ CLUSTER_i, MAP_i[i] ≃ MAP_i[j],
+       order(i) < order(j)
+    3. j ∉ CLUSTER_i, MAP_i[i] < MAP_i[j]
+
+II. *Parent in a different cluster* (i is a cluster leader):
+    1–2. as I.1–I.2
+    3. j ∉ CLUSTER_i, MAP_i[p_i[i]] < MAP_i[j]   (delay optimization)
+
+III. *Parent in the same cluster*:
+    1. j ∈ CLUSTER_i, p_i[j] ∉ CLUSTER_i, j ∈ ANC_i \\ {p_i[i]},
+       MAP_i[i] < MAP_i[j] or MAP_i[i] ≃ MAP_i[j]
+
+While computing ANC_i, discovering i ∈ ANC_i signals an intra-cluster
+cycle; the member with the *highest static order* detaches (the paper's
+cycle-breaking rule) and immediately falls into case I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..net import HostId
+from .cluster import ClusterView
+from .mapstate import MapState
+from .seqnoset import info_equiv, info_leq, info_less
+
+OrderFn = Callable[[HostId], int]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate parent, tagged with the case/option that produced it."""
+
+    target: HostId
+    case: str
+    option: int
+
+
+@dataclass
+class AttachmentPlan:
+    """The outcome of one attachment-procedure evaluation."""
+
+    case: str
+    candidates: List[Candidate] = field(default_factory=list)
+    #: True when an intra-cluster cycle through this host was detected
+    cycle_detected: bool = False
+    #: True when this host is the cycle member that must detach (highest order)
+    must_break_cycle: bool = False
+    cycle: List[HostId] = field(default_factory=list)
+
+
+@dataclass
+class AttachmentView:
+    """Snapshot of the host state the attachment procedure reads."""
+
+    me: HostId
+    parent: Optional[HostId]
+    participants: Sequence[HostId]
+    cluster: ClusterView
+    maps: MapState
+    order: OrderFn
+    #: ablation flag for case II option 3 (ProtocolConfig.enable_delay_optimization)
+    delay_optimization: bool = True
+    #: hysteresis margin for II.3 (ProtocolConfig.delay_opt_margin)
+    delay_opt_margin: int = 1
+
+
+def classify_case(view: AttachmentView) -> str:
+    """Which of the paper's three cases applies to this host now."""
+    if view.parent is None:
+        return "I"
+    if view.parent in view.cluster:
+        return "III"
+    return "II"
+
+
+def plan_attachment(view: AttachmentView) -> AttachmentPlan:
+    """Run the case analysis and produce prioritized candidates."""
+    case = classify_case(view)
+    if case == "I":
+        return AttachmentPlan(case="I", candidates=_case_i_candidates(view))
+    if case == "II":
+        candidates = _case_i_candidates(view, options=(1, 2), case_tag="II")
+        if view.delay_optimization:
+            candidates.extend(_case_ii_option3(view))
+        return AttachmentPlan(case="II", candidates=candidates)
+    return _case_iii_plan(view)
+
+
+# ----------------------------------------------------------------------
+# Case machinery
+# ----------------------------------------------------------------------
+
+
+def _sorted_matches(view: AttachmentView, matches: List[HostId]) -> List[HostId]:
+    """Order candidates: most advanced INFO first, then static order."""
+    return sorted(
+        matches,
+        key=lambda j: (-view.maps.info_of(j).max_seqno, view.order(j), str(j)),
+    )
+
+
+def _eligible(view: AttachmentView, j: HostId) -> bool:
+    return j != view.me and j != view.parent
+
+
+def _is_leader_in_my_cluster(view: AttachmentView, j: HostId) -> bool:
+    """j is in my cluster and j's parent (as I see it) is not."""
+    return j in view.cluster and view.maps.parent_of(j) not in view.cluster
+
+
+def _case_i_candidates(
+    view: AttachmentView,
+    options: Sequence[int] = (1, 2, 3),
+    case_tag: str = "I",
+) -> List[Candidate]:
+    my_info = view.maps.info_of(view.me)
+    out: List[Candidate] = []
+
+    if 1 in options:
+        matches = [
+            j for j in view.participants
+            if _eligible(view, j)
+            and _is_leader_in_my_cluster(view, j)
+            and info_less(my_info, view.maps.info_of(j))
+        ]
+        out.extend(Candidate(j, case_tag, 1) for j in _sorted_matches(view, matches))
+
+    if 2 in options:
+        matches = [
+            j for j in view.participants
+            if _eligible(view, j)
+            and _is_leader_in_my_cluster(view, j)
+            and info_equiv(my_info, view.maps.info_of(j))
+            and view.order(view.me) < view.order(j)
+        ]
+        out.extend(Candidate(j, case_tag, 2) for j in _sorted_matches(view, matches))
+
+    if 3 in options:
+        matches = [
+            j for j in view.participants
+            if _eligible(view, j)
+            and j not in view.cluster
+            and info_less(my_info, view.maps.info_of(j))
+        ]
+        out.extend(Candidate(j, case_tag, 3) for j in _sorted_matches(view, matches))
+
+    return out
+
+
+def _case_ii_option3(view: AttachmentView) -> List[Candidate]:
+    """Leader switches to an out-of-cluster host ahead of its parent.
+
+    ``delay_opt_margin`` adds hysteresis: with the literal strict
+    inequality (margin 1), the staleness of MAP views makes leaders
+    re-parent on every transient skew, which costs discarded in-flight
+    messages and gap fills.
+    """
+    assert view.parent is not None
+    parent_max = view.maps.info_of(view.parent).max_seqno
+    matches = [
+        j for j in view.participants
+        if _eligible(view, j)
+        and j not in view.cluster
+        and view.maps.info_of(j).max_seqno >= parent_max + view.delay_opt_margin
+    ]
+    return [Candidate(j, "II", 3) for j in _sorted_matches(view, matches)]
+
+
+def _case_iii_plan(view: AttachmentView) -> AttachmentPlan:
+    plan = AttachmentPlan(case="III")
+    ancestors, cycle_through_me = view.maps.ancestors_of_me(view.parent)
+
+    if cycle_through_me:
+        cycle = [view.me] + ancestors
+        plan.cycle_detected = True
+        plan.cycle = cycle
+        highest = max(cycle, key=lambda j: (view.order(j), str(j)))
+        plan.must_break_cycle = highest == view.me
+        return plan
+
+    my_info = view.maps.info_of(view.me)
+    matches = [
+        j for j in ancestors
+        if j != view.parent
+        and _is_leader_in_my_cluster(view, j)
+        and info_leq(my_info, view.maps.info_of(j))
+    ]
+    plan.candidates = [Candidate(j, "III", 1) for j in _sorted_matches(view, matches)]
+    return plan

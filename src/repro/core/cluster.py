@@ -1,0 +1,82 @@
+"""CLUSTER-set maintenance (Section 4.2).
+
+``CLUSTER_i`` is host *i*'s current belief about which hosts share its
+cluster.  In the paper's main design it is learned *dynamically* from
+the cost bit of every received message: a message from *j* that
+traversed an expensive link evicts *j*; a cheaply delivered message
+admits *j*.  A host's view "may not always be consistent either with
+that of other hosts or with reality" — the protocol tolerates that.
+
+Two degraded modes from the conclusions are also implemented: static
+a-priori knowledge, and no knowledge at all (every host permanently a
+singleton cluster).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..net import HostId
+from .config import ClusterMode
+
+
+class ClusterView:
+    """One host's (possibly wrong) view of its own cluster."""
+
+    def __init__(
+        self,
+        me: HostId,
+        mode: ClusterMode = ClusterMode.DYNAMIC,
+        static_members: Optional[Iterable[HostId]] = None,
+    ) -> None:
+        self.me = me
+        self.mode = mode
+        if mode is ClusterMode.STATIC:
+            if static_members is None:
+                raise ValueError("STATIC cluster mode requires static_members")
+            self._members: Set[HostId] = set(static_members) | {me}
+        else:
+            # DYNAMIC starts from the paper's initialization CLUSTER_i = {i};
+            # SINGLETON stays there forever.
+            self._members = {me}
+
+    # ------------------------------------------------------------------
+
+    def observe(self, sender: HostId, cost_bit: bool) -> bool:
+        """Update from a received message's cost bit.
+
+        Returns True when membership changed.  Only DYNAMIC mode learns;
+        the other modes ignore observations.
+        """
+        if self.mode is not ClusterMode.DYNAMIC or sender == self.me:
+            return False
+        if cost_bit and sender in self._members:
+            self._members.discard(sender)
+            return True
+        if not cost_bit and sender not in self._members:
+            self._members.add(sender)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, host: Optional[HostId]) -> bool:
+        """Membership test; None (no/unknown parent) is never in a cluster."""
+        if host is None:
+            return False
+        return host in self._members
+
+    def members(self) -> Set[HostId]:
+        """A copy of the current membership (always includes ``me``)."""
+        return set(self._members)
+
+    def neighbors(self) -> Set[HostId]:
+        """Members other than ``me``."""
+        return self._members - {self.me}
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(sorted(str(m) for m in self._members))
+        return f"ClusterView({self.me}: {{{names}}})"

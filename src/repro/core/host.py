@@ -1,0 +1,574 @@
+"""The broadcast host agent (Sections 4.1–4.4).
+
+:class:`BroadcastHost` is the per-host protocol machine.  It owns:
+
+* ``INFO_i`` (its :class:`~repro.core.seqnoset.SeqnoSet`), the message
+  store, and the delivery log;
+* ``MAP_i`` / ``p_i[]`` views (:class:`~repro.core.mapstate.MapState`);
+* ``CLUSTER_i`` (:class:`~repro.core.cluster.ClusterView`), learned
+  from cost bits;
+* the parent pointer and ``CHILDREN_i``;
+* periodic tasks: the attachment procedure, two-rate INFO exchange,
+  two-rate neighbor gap filling, low-rate non-neighbor gap filling;
+* one-shot timers: attach-ack timeout and parent liveness timeout.
+
+Message handling implements the paper's acceptance rule verbatim: a
+data message numbered *higher than anything seen so far* is accepted
+only from the current parent (and then propagated to all children); any
+other missing message is a gap fill, accepted from anyone and relayed
+to parent-graph neighbors that appear to lack it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..net import HostId, HostPort, Packet
+from ..sim import PeriodicTask, Simulator, Timer
+from .attachment import AttachmentView, Candidate, plan_attachment
+from .cluster import ClusterView
+from .config import ClusterMode, CostBitMode, ProtocolConfig
+from .costinfer import TransitTimeClassifier
+from .delivery import DeliverCallback, DeliveryLog, DeliveryRecord
+from .mapstate import MapState
+from .seqnoset import SeqnoSet
+from .wire import AttachAck, AttachRequest, DataMsg, DetachNotice, InfoMsg
+
+OrderFn = Callable[[HostId], int]
+
+
+@dataclass
+class _PendingAttach:
+    """State of an in-progress attachment handshake."""
+
+    candidates: List[Candidate]
+    index: int
+    attempt: int
+
+    @property
+    def current(self) -> Candidate:
+        return self.candidates[self.index]
+
+
+class BroadcastHost:
+    """One participating host running the reliable-broadcast protocol."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: HostPort,
+        participants: Sequence[HostId],
+        order: OrderFn,
+        config: Optional[ProtocolConfig] = None,
+        static_cluster: Optional[Set[HostId]] = None,
+        deliver_callback: Optional[DeliverCallback] = None,
+    ) -> None:
+        self.sim = sim
+        self.port = port
+        self.me = port.host_id
+        self.config = config or ProtocolConfig()
+        self.participants = sorted(h for h in participants if h != self.me)
+        self.order = order
+
+        self.info = SeqnoSet()
+        self.maps = MapState(self.me, self.info)
+        self.cluster = ClusterView(self.me, self.config.cluster_mode, static_cluster)
+        self.parent: Optional[HostId] = None
+        self.children: Set[HostId] = set()
+        self.store: Dict[int, DataMsg] = {}
+        self.deliveries = DeliveryLog(self.me, deliver_callback)
+
+        self._attempt_counter = itertools.count(1)
+        self._pending: Optional[_PendingAttach] = None
+        self._started = False
+        #: (target -> seq -> last fill time); bounds duplicate gap fills
+        self._recent_fills: Dict[HostId, Dict[int, float]] = {}
+        #: when each current child was (re)registered — reconcile grace
+        self._child_since: Dict[HostId, float] = {}
+        #: last time the current parent sent us data (or was adopted)
+        self._parent_progress_at = 0.0
+        #: transit-time classifier (only consulted in TIMESTAMP mode).
+        #: The paper's mechanism compares one-way transit times across
+        #: senders, which implicitly assumes clocks synchronized to
+        #: within a few cheap-path transits; experiment E16 quantifies
+        #: the degradation when they are not.
+        self._cost_classifier = TransitTimeClassifier(
+            spread_factor=self.config.transit_spread_factor)
+
+        port.set_receiver(self._on_packet)
+        self._ack_timer = Timer(sim, self._on_attach_timeout, name=f"{self.me}.ack")
+        self._parent_timer = Timer(sim, self._on_parent_timeout, name=f"{self.me}.parent")
+        self._tasks = self._build_tasks()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _build_tasks(self) -> List[PeriodicTask]:
+        cfg = self.config
+        stream = f"host.{self.me}"
+        tasks = [
+            PeriodicTask(self.sim, cfg.attachment_period, self._attachment_tick,
+                         jitter=cfg.attachment_jitter, rng_stream=f"{stream}.attach",
+                         name="attach"),
+            PeriodicTask(self.sim, cfg.info_intra_period, self._info_intra_tick,
+                         jitter=cfg.info_intra_period * cfg.info_jitter_frac,
+                         rng_stream=f"{stream}.info_intra", name="info_intra"),
+            PeriodicTask(self.sim, cfg.info_inter_period, self._info_inter_tick,
+                         jitter=cfg.info_inter_period * cfg.info_jitter_frac,
+                         rng_stream=f"{stream}.info_inter", name="info_inter"),
+            PeriodicTask(self.sim, cfg.gapfill_neighbor_intra_period,
+                         self._gapfill_neighbors_intra_tick,
+                         jitter=cfg.gapfill_neighbor_intra_period * 0.1,
+                         rng_stream=f"{stream}.gf_intra", name="gapfill_intra"),
+            PeriodicTask(self.sim, cfg.gapfill_neighbor_inter_period,
+                         self._gapfill_neighbors_inter_tick,
+                         jitter=cfg.gapfill_neighbor_inter_period * 0.1,
+                         rng_stream=f"{stream}.gf_inter", name="gapfill_inter"),
+        ]
+        if cfg.enable_nonneighbor_gapfill:
+            tasks.append(
+                PeriodicTask(self.sim, cfg.gapfill_nonneighbor_period,
+                             self._gapfill_nonneighbors_tick,
+                             jitter=cfg.gapfill_nonneighbor_period * 0.1,
+                             rng_stream=f"{stream}.gf_nonneighbor",
+                             name="gapfill_nonneighbor"))
+        return tasks
+
+    def start(self) -> "BroadcastHost":
+        """Begin running the protocol's periodic activities."""
+        if self._started:
+            return self
+        self._started = True
+        for task in self._tasks:
+            task.start()
+        return self
+
+    def stop(self) -> None:
+        """Halt all periodic activity and timers (end of simulation)."""
+        self._started = False
+        for task in self._tasks:
+            task.stop()
+        self._ack_timer.cancel()
+        self._parent_timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_source(self) -> bool:
+        """True for the broadcast source host."""
+        return False
+
+    @property
+    def is_cluster_leader(self) -> bool:
+        """Per Section 4.1: parent absent or outside the (believed) cluster."""
+        return self.parent not in self.cluster
+
+    def neighbors(self) -> Set[HostId]:
+        """Parent-graph neighbors: children plus the parent."""
+        out = set(self.children)
+        if self.parent is not None:
+            out.add(self.parent)
+        return out
+
+    # ------------------------------------------------------------------
+    # Receive dispatch
+    # ------------------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        sender = packet.src
+        self.cluster.observe(sender, self._expensive_delivery(packet))
+        if sender == self.parent:
+            self._arm_parent_timer()
+        payload = packet.payload
+        if isinstance(payload, DataMsg):
+            self._on_data(payload, sender)
+        elif isinstance(payload, InfoMsg):
+            self._on_info(payload, sender)
+        elif isinstance(payload, AttachRequest):
+            self._on_attach_request(payload, sender)
+        elif isinstance(payload, AttachAck):
+            self._on_attach_ack(payload, sender)
+        elif isinstance(payload, DetachNotice):
+            self._on_detach(payload, sender)
+        else:  # pragma: no cover - future message types
+            self.sim.trace.emit("host.unknown_payload", str(self.me),
+                                payload=type(payload).__name__)
+
+    def _expensive_delivery(self, packet: Packet) -> bool:
+        """Did this delivery cross an expensive link?  (Section 2.)
+
+        NETWORK mode trusts the cost bit stamped by the servers;
+        TIMESTAMP mode infers the class from the message's time in
+        transit, for networks that offer no such service.
+        """
+        if self.config.cost_bit_mode is CostBitMode.NETWORK:
+            return packet.cost_bit
+        # Estimate transit with *local* clocks on both ends, exactly as
+        # a real deployment would (skew included when a clock model is
+        # installed).
+        transit = max(self.port.local_time() - packet.stamped_at, 0.0)
+        return self._cost_classifier.classify(transit)
+
+    # ------------------------------------------------------------------
+    # Data handling (Section 4.1 acceptance rule + Section 4.4 gap filling)
+    # ------------------------------------------------------------------
+
+    def _on_data(self, msg: DataMsg, sender: HostId) -> None:
+        self.maps.note_has(sender, msg.seq)
+        if sender == self.parent:
+            self._parent_progress_at = self.sim.now
+        if msg.seq in self.info:
+            self.sim.trace.emit("host.discard_data", str(self.me), seq=msg.seq,
+                                sender=str(sender), reason="duplicate")
+            self.sim.metrics.counter("proto.data.discard.duplicate").inc()
+            return
+        new_max = msg.seq > self.info.max_seqno
+        if new_max and sender != self.parent:
+            # The paper's rule: a higher-than-anything message is accepted
+            # only from the parent; from anyone else it is discarded.
+            self.sim.trace.emit("host.discard_data", str(self.me), seq=msg.seq,
+                                sender=str(sender), reason="not_parent")
+            self.sim.metrics.counter("proto.data.discard.not_parent").inc()
+            return
+        self._accept(msg, sender, new_max)
+
+    def _accept(self, msg: DataMsg, sender: HostId, new_max: bool) -> None:
+        self.info.add(msg.seq)
+        self.store[msg.seq] = msg
+        via_gapfill = not new_max or msg.gapfill
+        self.deliveries.record(DeliveryRecord(
+            seq=msg.seq, content=msg.content, created_at=msg.created_at,
+            delivered_at=self.sim.now, supplier=sender, via_gapfill=via_gapfill))
+        self.sim.trace.emit("host.deliver", str(self.me), seq=msg.seq,
+                            sender=str(sender), gapfill=via_gapfill)
+        metrics = self.sim.metrics
+        metrics.counter("proto.deliver").inc()
+        metrics.histogram("proto.delay").observe(self.sim.now - msg.created_at)
+        if new_max:
+            # Normal propagation: push to all children.
+            for child in sorted(self.children):
+                if child != sender:
+                    self._send_data(child, msg.seq, gapfill=False)
+        else:
+            # A gap filler: relay it to parent-graph neighbors that,
+            # according to MAP, do not have it (Section 4.4).
+            for neighbor in sorted(self.neighbors()):
+                if neighbor == sender:
+                    continue
+                if msg.seq not in self.maps.info_of(neighbor):
+                    self._send_data(neighbor, msg.seq, gapfill=True)
+
+    def _send_data(self, target: HostId, seq: int, gapfill: bool) -> None:
+        stored = self.store.get(seq)
+        if stored is None:
+            return
+        msg = DataMsg(seq=stored.seq, content=stored.content,
+                      created_at=stored.created_at, origin=stored.origin,
+                      gapfill=gapfill, size_bits=self.config.data_size_bits)
+        self.port.send(target, msg)
+        self.maps.note_sent(target, [seq])
+        # Every data send enters the suppression window so periodic gap
+        # filling does not immediately duplicate a normal forward.
+        self._recent_fills.setdefault(target, {})[seq] = self.sim.now
+        if gapfill:
+            self.sim.metrics.counter("proto.gapfill.sent").inc()
+            self.sim.trace.emit("host.gapfill_send", str(self.me),
+                                target=str(target), seq=seq)
+        else:
+            self.sim.metrics.counter("proto.data.forwarded").inc()
+
+    # ------------------------------------------------------------------
+    # INFO exchange
+    # ------------------------------------------------------------------
+
+    def _on_info(self, msg: InfoMsg, sender: HostId) -> None:
+        self.maps.apply_info(sender, msg.info, msg.parent)
+        grace = self.config.child_reconcile_grace
+        if (self.config.enable_child_reconcile
+                and sender in self.children and msg.parent != self.me
+                and self.sim.now - self._child_since.get(sender, 0.0) > grace):
+            # The routine parent-pointer exchange reveals a phantom child:
+            # it asked to attach once but never adopted us (ack lost or
+            # timed out).  Keeping it would mean gap-filling a host that
+            # discards everything we send.
+            self.children.discard(sender)
+            self._child_since.pop(sender, None)
+            self.sim.trace.emit("host.child_reconciled", str(self.me),
+                                child=str(sender))
+            self.sim.metrics.counter("proto.children.reconciled").inc()
+
+    def _info_payload(self) -> InfoMsg:
+        return InfoMsg(sender=self.me, info=self.info, parent=self.parent,
+                       size_bits=self.config.control_size_bits)
+
+    def _info_intra_tick(self) -> None:
+        for j in sorted(self.cluster.neighbors()):
+            self.port.send(j, self._info_payload())
+            self.sim.metrics.counter("proto.info.sent.intra").inc()
+
+    def _info_inter_tick(self) -> None:
+        for j in self.participants:
+            if j in self.cluster:
+                continue
+            self.port.send(j, self._info_payload())
+            self.sim.metrics.counter("proto.info.sent.inter").inc()
+        self._maybe_prune()
+
+    def _maybe_prune(self) -> None:
+        """Section 6: prune 1..n once every participant is known to have it."""
+        if not self.config.enable_info_pruning or not self.participants:
+            return
+        prefix = self.info.contiguous_prefix()
+        for j in self.participants:
+            prefix = min(prefix, self.maps.authoritative_prefix(j))
+            if prefix <= self.info.floor:
+                return
+        self.info.prune_through(prefix)
+        for seq in [s for s in self.store if s <= prefix]:
+            del self.store[seq]
+        self.sim.trace.emit("host.prune", str(self.me), through=prefix)
+
+    # ------------------------------------------------------------------
+    # Gap filling (Section 4.4)
+    # ------------------------------------------------------------------
+
+    def _fill_gaps_of(self, target: HostId, include_frontier: bool = False,
+                      persistent_only: bool = False) -> int:
+        """Send ``target`` everything we have that it appears to lack.
+
+        A (target, seq) pair is not re-sent within the configured
+        suppression window: MAP views lag by up to an exchange period,
+        and without suppression every perceived-but-already-filled gap
+        would be refilled on each tick.  Genuinely lost fills are
+        retried once the window expires.
+        """
+        view = self.maps.info_of(target)
+        recent = self._recent_fills.setdefault(target, {})
+        batch_limit = (self.config.gapfill_batch_limit if target in self.cluster
+                       else self.config.gapfill_batch_limit_inter)
+        horizon = self.sim.now - self.config.gapfill_suppression
+        target_max = view.max_seqno
+        # Only the target's parent may usefully send messages numbered
+        # above the target's maximum: receivers enforce the paper's rule
+        # of accepting new-maximum data exclusively from their parent.
+        # Anyone may fill true gaps (holes below the target's maximum).
+        # Duplication of recent normal forwards is prevented by the
+        # suppression window, which records every data send.
+        can_send_frontier = include_frontier or target in self.children
+        sent = 0
+        for seq in self.info.difference(view):
+            if seq > target_max and not can_send_frontier:
+                break  # ascending: every later seq is frontier too
+            if persistent_only and not self.maps.persistent_hole(target, seq):
+                continue  # non-neighbors only repair long-lived holes
+            if seq not in self.store:
+                continue
+            if recent.get(seq, float("-inf")) > horizon:
+                continue
+            self._send_data(target, seq, gapfill=True)
+            sent += 1
+            if sent >= batch_limit:
+                break
+        return sent
+
+    def _gapfill_neighbors_intra_tick(self) -> None:
+        for neighbor in sorted(self.neighbors()):
+            if neighbor in self.cluster:
+                self._fill_gaps_of(neighbor)
+
+    def _gapfill_neighbors_inter_tick(self) -> None:
+        for neighbor in sorted(self.neighbors()):
+            if neighbor not in self.cluster:
+                self._fill_gaps_of(neighbor)
+
+    def _gapfill_nonneighbors_tick(self) -> None:
+        neighbors = self.neighbors()
+        for j in self.participants:
+            if j not in neighbors:
+                self._fill_gaps_of(j, persistent_only=True)
+
+    # ------------------------------------------------------------------
+    # Attachment procedure driver (Section 4.2)
+    # ------------------------------------------------------------------
+
+    def _attachment_view(self) -> AttachmentView:
+        return AttachmentView(
+            me=self.me, parent=self.parent, participants=self.participants,
+            cluster=self.cluster, maps=self.maps, order=self.order,
+            delay_optimization=self.config.enable_delay_optimization,
+            delay_opt_margin=self.config.delay_opt_margin)
+
+    def _attachment_tick(self) -> None:
+        if self._pending is not None:
+            return  # one handshake at a time
+        self._maybe_refresh_parent()
+        plan = plan_attachment(self._attachment_view())
+        if plan.cycle_detected:
+            self.sim.trace.emit("host.cycle_detected", str(self.me),
+                                cycle=[str(h) for h in plan.cycle])
+            self.sim.metrics.counter("proto.cycle.detected").inc()
+            if not plan.must_break_cycle:
+                return
+            # The highest-order member detaches and reruns as case I.
+            self._detach_from_parent(reason="cycle_break")
+            self.sim.metrics.counter("proto.cycle.broken").inc()
+            plan = plan_attachment(self._attachment_view())
+        if not plan.candidates:
+            return
+        # Deduplicate targets, preserving priority order.
+        seen: Set[HostId] = set()
+        unique = []
+        for candidate in plan.candidates:
+            if candidate.target not in seen:
+                seen.add(candidate.target)
+                unique.append(candidate)
+        self._pending = _PendingAttach(candidates=unique, index=0,
+                                       attempt=next(self._attempt_counter))
+        self._send_attach_request()
+
+    def _send_attach_request(self) -> None:
+        assert self._pending is not None
+        candidate = self._pending.current
+        request = AttachRequest(child=self.me, child_info=self.info,
+                                attempt=self._pending.attempt,
+                                size_bits=self.config.control_size_bits)
+        self.port.send(candidate.target, request)
+        self.sim.trace.emit("host.attach_try", str(self.me),
+                            target=str(candidate.target), case=candidate.case,
+                            option=candidate.option, attempt=self._pending.attempt)
+        self.sim.metrics.counter("proto.attach.requests").inc()
+        self._ack_timer.start(self.config.attach_ack_timeout)
+
+    def _maybe_refresh_parent(self) -> None:
+        """Re-request attachment from a parent that stopped serving us.
+
+        If the parent's advertised INFO is ahead of ours but it has sent
+        no data for ``parent_refresh_timeout``, it has probably dropped
+        us from its CHILDREN (e.g. reconciled us away after a lost ack).
+        An idempotent AttachRequest re-registers us and triggers a fill.
+        """
+        if self.parent is None or not self.config.enable_parent_refresh:
+            return
+        if self.maps.info_of(self.parent).max_seqno <= self.info.max_seqno:
+            return
+        if self.sim.now - self._parent_progress_at < self.config.parent_refresh_timeout:
+            return
+        self._parent_progress_at = self.sim.now  # pace the refreshes
+        request = AttachRequest(child=self.me, child_info=self.info, attempt=0,
+                                size_bits=self.config.control_size_bits)
+        self.port.send(self.parent, request)
+        self.sim.trace.emit("host.parent_refresh", str(self.me),
+                            parent=str(self.parent))
+        self.sim.metrics.counter("proto.parent.refresh").inc()
+
+    def _on_attach_timeout(self) -> None:
+        if self._pending is None:
+            return
+        target = self._pending.current.target
+        self.sim.trace.emit("host.attach_timeout", str(self.me), target=str(target))
+        self.sim.metrics.counter("proto.attach.timeouts").inc()
+        # The candidate may have registered us and lost the ack; tell it
+        # to forget us so it does not keep feeding a phantom child.
+        self.port.send(target, DetachNotice(
+            child=self.me, size_bits=self.config.control_size_bits))
+        self._pending.index += 1
+        self._pending.attempt = next(self._attempt_counter)
+        if self._pending.index >= len(self._pending.candidates):
+            self._pending = None  # exhausted; wait for the next period
+            return
+        self._send_attach_request()
+
+    def _on_attach_request(self, request: AttachRequest, sender: HostId) -> None:
+        if request.child not in self.children:
+            # Keep the original registration time on repeat requests so
+            # the reconcile grace period can actually elapse for a child
+            # that keeps requesting but never adopts us.
+            self._child_since[request.child] = self.sim.now
+        self.children.add(request.child)
+        self.maps.info_of(request.child).update(request.child_info)
+        self.maps.set_parent_view(request.child, self.me)
+        ack = AttachAck(parent=self.me, attempt=request.attempt,
+                        parent_info=self.info, parent_parent=self.parent,
+                        size_bits=self.config.control_size_bits)
+        self.port.send(request.child, ack)
+        self.sim.trace.emit("host.child_added", str(self.me), child=str(request.child))
+        # The new child's gaps (frontier included, since it is now a
+        # child) are filled by the next periodic child gap-fill tick.
+        # Filling synchronously here would push a large data batch onto
+        # the trunk *before* knowing the ack survived — under congestion
+        # that starves the acks themselves and livelocks attachment.
+
+    def _on_attach_ack(self, ack: AttachAck, sender: HostId) -> None:
+        self.maps.apply_info(sender, ack.parent_info, ack.parent_parent)
+        pending = self._pending
+        if (pending is None or ack.attempt != pending.attempt
+                or sender != pending.current.target):
+            # A stale ack: some earlier candidate answered after we moved
+            # on.  It now wrongly lists us as a child; correct it, unless
+            # it actually is our current parent.
+            if sender != self.parent:
+                self.port.send(sender, DetachNotice(
+                    child=self.me, size_bits=self.config.control_size_bits))
+            return
+        candidate = pending.current
+        self._ack_timer.cancel()
+        self._pending = None
+        old_parent = self.parent
+        self.parent = sender
+        self._parent_progress_at = self.sim.now
+        self._arm_parent_timer()
+        self.sim.trace.emit("host.attach_ok", str(self.me), parent=str(sender),
+                            case=candidate.case, option=candidate.option,
+                            old_parent=str(old_parent) if old_parent else None)
+        self.sim.metrics.counter("proto.attach.success").inc()
+        self.sim.metrics.counter(
+            f"proto.attach.case.{candidate.case}.{candidate.option}").inc()
+        if old_parent is not None and old_parent != sender:
+            self.port.send(old_parent, DetachNotice(
+                child=self.me, size_bits=self.config.control_size_bits))
+
+    def _on_detach(self, notice: DetachNotice, sender: HostId) -> None:
+        self.children.discard(notice.child)
+        self._child_since.pop(notice.child, None)
+        self.sim.trace.emit("host.child_removed", str(self.me),
+                            child=str(notice.child))
+
+    # ------------------------------------------------------------------
+    # Parent liveness (Section 4.3, end)
+    # ------------------------------------------------------------------
+
+    def _parent_timeout_value(self) -> float:
+        if self.parent in self.cluster:
+            return self.config.parent_timeout_intra
+        return self.config.parent_timeout_inter
+
+    def _arm_parent_timer(self) -> None:
+        if self.parent is not None:
+            self._parent_timer.start(self._parent_timeout_value())
+
+    def _on_parent_timeout(self) -> None:
+        if self.parent is None:
+            return
+        self.sim.trace.emit("host.parent_timeout", str(self.me),
+                            parent=str(self.parent))
+        self.sim.metrics.counter("proto.parent.timeouts").inc()
+        # Do not notify the (presumed dead) parent; just forget it and
+        # let the attachment procedure find a new one (case I).
+        self.parent = None
+        self._parent_timer.cancel()
+        self.sim.call_soon(self._attachment_tick)
+
+    def _detach_from_parent(self, reason: str) -> None:
+        if self.parent is None:
+            return
+        self.port.send(self.parent, DetachNotice(
+            child=self.me, size_bits=self.config.control_size_bits))
+        self.sim.trace.emit("host.detach", str(self.me), parent=str(self.parent),
+                            reason=reason)
+        self.parent = None
+        self._parent_timer.cancel()

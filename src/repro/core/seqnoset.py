@@ -1,0 +1,230 @@
+"""Compact sets of message sequence numbers (the paper's INFO sets).
+
+Every host tracks the sequence numbers of all broadcast messages it has
+received (``INFO_i``), and its view of every other host's set
+(``MAP_i[j]``).  Since received messages are mostly contiguous runs,
+:class:`SeqnoSet` stores them as sorted, disjoint, inclusive integer
+ranges — O(#gaps) memory instead of O(#messages).
+
+The class also implements the paper's Section 6 optimization: a set can
+be *pruned* of sequence numbers ``1..n`` once it is known that all hosts
+have received them; the pruned prefix is remembered in ``floor`` so
+membership and gap queries stay exact.
+
+The paper's partial order on INFO sets (Section 4.2) is provided by
+:func:`info_less` (``A < B`` iff ``max(A) < max(B)``) and
+:func:`info_equiv` (equal maxima).  The maximum of an empty set is
+defined as 0; the source numbers messages from 1.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, List, Tuple
+
+
+class SeqnoSet:
+    """A set of positive integers stored as sorted disjoint ranges."""
+
+    __slots__ = ("_ranges", "_floor")
+
+    def __init__(self, items: Iterable[int] = ()) -> None:
+        self._ranges: List[List[int]] = []  # [lo, hi] inclusive, sorted, disjoint
+        self._floor = 0  # all of 1..floor are members (pruned prefix)
+        for item in items:
+            self.add(item)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def range(cls, lo: int, hi: int) -> "SeqnoSet":
+        """The contiguous set {lo, ..., hi} (inclusive)."""
+        out = cls()
+        out.add_range(lo, hi)
+        return out
+
+    def copy(self) -> "SeqnoSet":
+        """An independent copy."""
+        out = SeqnoSet()
+        out._ranges = [r[:] for r in self._ranges]
+        out._floor = self._floor
+        return out
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, seq: int) -> bool:
+        """Insert ``seq``; returns True when it was not already present."""
+        return self.add_range(seq, seq)
+
+    def add_range(self, lo: int, hi: int) -> bool:
+        """Insert all of {lo..hi}; returns True if anything was new."""
+        if lo < 1:
+            raise ValueError(f"sequence numbers are positive, got {lo}")
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        if hi <= self._floor:
+            return False
+        lo = max(lo, self._floor + 1)
+        size_before = len(self)
+        # Find the window of ranges overlapping or adjacent to [lo, hi].
+        starts = [r[0] for r in self._ranges]
+        left = bisect_left(starts, lo)
+        if left > 0 and self._ranges[left - 1][1] >= lo - 1:
+            left -= 1
+        right = left
+        new_lo, new_hi = lo, hi
+        while right < len(self._ranges) and self._ranges[right][0] <= hi + 1:
+            new_lo = min(new_lo, self._ranges[right][0])
+            new_hi = max(new_hi, self._ranges[right][1])
+            right += 1
+        self._ranges[left:right] = [[new_lo, new_hi]]
+        return len(self) > size_before
+
+    def update(self, other: "SeqnoSet") -> bool:
+        """Union-in ``other``; returns True if anything was new."""
+        any_new = False
+        if other._floor > self._floor:
+            any_new |= self.add_range(1, other._floor)
+        for lo, hi in other._ranges:
+            any_new |= self.add_range(lo, hi)
+        return any_new
+
+    def prune_through(self, n: int) -> None:
+        """Forget explicit storage for 1..n (they remain members).
+
+        Only legal when 1..n are all present — pruning must not change
+        the set's membership, so a gap below n raises ``ValueError``.
+        """
+        if n <= self._floor:
+            return
+        if self.missing_below(n + 1):
+            raise ValueError(f"cannot prune through {n}: set has gaps below it")
+        self._floor = n
+        new_ranges = []
+        for lo, hi in self._ranges:
+            if hi <= n:
+                continue
+            new_ranges.append([max(lo, n + 1), hi])
+        self._ranges = new_ranges
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def floor(self) -> int:
+        """Largest n such that 1..n is stored implicitly (0 if none)."""
+        return self._floor
+
+    def __contains__(self, seq: int) -> bool:
+        if seq <= 0:
+            return False
+        if seq <= self._floor:
+            return True
+        idx = bisect_right([r[0] for r in self._ranges], seq) - 1
+        return idx >= 0 and self._ranges[idx][1] >= seq
+
+    def __len__(self) -> int:
+        return self._floor + sum(hi - lo + 1 for lo, hi in self._ranges)
+
+    def __bool__(self) -> bool:
+        return self._floor > 0 or bool(self._ranges)
+
+    @property
+    def max_seqno(self) -> int:
+        """The paper's max(INFO); 0 for the empty set."""
+        if self._ranges:
+            return self._ranges[-1][1]
+        return self._floor
+
+    def __iter__(self) -> Iterator[int]:
+        for seq in range(1, self._floor + 1):
+            yield seq
+        for lo, hi in self._ranges:
+            yield from range(lo, hi + 1)
+
+    def contiguous_prefix(self) -> int:
+        """Largest n such that all of 1..n are members (0 if 1 is absent)."""
+        if self._ranges and self._ranges[0][0] == self._floor + 1:
+            return self._ranges[0][1]
+        return self._floor
+
+    def missing_below(self, limit: int) -> List[int]:
+        """All absent sequence numbers in [1, limit) — the set's *gaps*."""
+        missing = []
+        cursor = self._floor + 1
+        for lo, hi in self._ranges:
+            if cursor >= limit:
+                break
+            if lo > cursor:
+                missing.extend(range(cursor, min(lo, limit)))
+            cursor = max(cursor, hi + 1)
+        missing.extend(range(cursor, limit))
+        return missing
+
+    def gaps(self) -> List[int]:
+        """Absent sequence numbers below this set's own maximum."""
+        return self.missing_below(self.max_seqno)
+
+    def difference(self, other: "SeqnoSet", limit: int = 0) -> List[int]:
+        """Members of self that are not in ``other`` (ascending).
+
+        With ``limit > 0``, at most that many are returned — used to
+        batch gap-filling traffic.
+        """
+        out = []
+        for seq in self:
+            if seq not in other:
+                out.append(seq)
+                if limit and len(out) >= limit:
+                    break
+        return out
+
+    def issuperset(self, other: "SeqnoSet") -> bool:
+        """True when every member of ``other`` is in self."""
+        return all(seq in self for seq in other)
+
+    def ranges(self) -> List[Tuple[int, int]]:
+        """The explicit ranges (diagnostics; excludes the pruned prefix)."""
+        return [(lo, hi) for lo, hi in self._ranges]
+
+    # ------------------------------------------------------------------
+    # Equality / representation
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SeqnoSet):
+            return NotImplemented
+        # Same membership, regardless of internal floor/ranges split.
+        if len(self) != len(other):
+            return False
+        return list(self) == list(other)
+
+    def __hash__(self) -> int:  # pragma: no cover - sets are mutable
+        raise TypeError("SeqnoSet is unhashable")
+
+    def __repr__(self) -> str:
+        parts = []
+        if self._floor:
+            parts.append(f"1..{self._floor}*")
+        parts.extend(f"{lo}..{hi}" if lo != hi else f"{lo}" for lo, hi in self._ranges)
+        return f"SeqnoSet({', '.join(parts)})"
+
+
+def info_less(a: SeqnoSet, b: SeqnoSet) -> bool:
+    """The paper's partial order: A < B iff max(A) < max(B)."""
+    return a.max_seqno < b.max_seqno
+
+
+def info_equiv(a: SeqnoSet, b: SeqnoSet) -> bool:
+    """The paper's equivalence: A ≃ B iff max(A) = max(B)."""
+    return a.max_seqno == b.max_seqno
+
+
+def info_leq(a: SeqnoSet, b: SeqnoSet) -> bool:
+    """A < B or A ≃ B (used by attachment case III)."""
+    return a.max_seqno <= b.max_seqno

@@ -1,0 +1,71 @@
+"""The broadcast source host.
+
+The source is a normal protocol participant except that (per Section
+4.2) it never runs the attachment procedure — it is permanently the
+root of the host parent graph and the leader of its own cluster.  It
+numbers data messages consecutively from 1 and pushes each new message
+to its current children; everything else (INFO exchange, gap filling,
+answering attach requests) is inherited from
+:class:`~repro.core.host.BroadcastHost`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net import HostId
+from ..sim import PeriodicTask
+from .delivery import DeliveryRecord
+from .host import BroadcastHost
+from .wire import DataMsg
+
+
+class SourceHost(BroadcastHost):
+    """The single broadcast source (root of the host parent graph)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._next_seq = 1
+
+    @property
+    def is_source(self) -> bool:
+        """True for the broadcast source host."""
+        return True
+
+    def _build_tasks(self) -> List[PeriodicTask]:
+        # Drop the attachment task: the source never looks for a parent.
+        return [task for task in super()._build_tasks() if task.name != "attach"]
+
+    def _attachment_tick(self) -> None:  # pragma: no cover - never scheduled
+        raise AssertionError("the source does not run the attachment procedure")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next broadcast() call will use."""
+        return self._next_seq
+
+    def broadcast(self, content: object = None) -> int:
+        """Issue one new broadcast data message; returns its seqno.
+
+        The message is recorded in the source's own INFO set/store
+        (``INFO_s`` is updated every time a new message is generated)
+        and pushed to the source's current children.  Hosts not yet
+        attached will pick it up through attachment + gap filling.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        msg = DataMsg(seq=seq, content=content, created_at=self.sim.now,
+                      origin=self.me, gapfill=False,
+                      size_bits=self.config.data_size_bits)
+        self.info.add(seq)
+        self.store[seq] = msg
+        self.deliveries.record(DeliveryRecord(
+            seq=seq, content=content, created_at=self.sim.now,
+            delivered_at=self.sim.now, supplier=self.me, via_gapfill=False))
+        self.sim.trace.emit("source.broadcast", str(self.me), seq=seq)
+        self.sim.metrics.counter("proto.source.broadcasts").inc()
+        for child in sorted(self.children):
+            self._send_data(child, seq, gapfill=False)
+        return seq

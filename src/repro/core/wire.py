@@ -1,0 +1,129 @@
+"""Wire formats: the protocol's message payloads.
+
+Five message types implement the whole protocol:
+
+* :class:`DataMsg` — a broadcast data message (possibly a gap-filling
+  redelivery).  Carries the source's sequence number and generation
+  time (the timestamp the paper suggests for transit-time estimation;
+  we use it for delay accounting).
+* :class:`InfoMsg` — the periodic INFO-set + parent-pointer exchange
+  (Section 4.2).  Doubles as the liveness heartbeat.
+* :class:`AttachRequest` / :class:`AttachAck` — the attachment
+  handshake.  The request carries the child's INFO set so the new
+  parent can immediately fill its gaps (Section 4.4); the ack carries
+  the parent's INFO set and parent pointer for the child's MAP.
+* :class:`DetachNotice` — tells an old parent that a child has left.
+
+All payloads are frozen dataclasses satisfying the network's
+:class:`repro.net.message.Payload` protocol.  INFO sets are *copied* at
+construction: a payload must be an immutable snapshot, not an alias of
+live mutable host state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..net import HostId
+from .seqnoset import SeqnoSet
+
+#: payload kind tags used for traffic accounting
+KIND_DATA = "data"
+KIND_CONTROL = "control"
+
+
+def _snapshot(info: SeqnoSet) -> SeqnoSet:
+    return info.copy()
+
+
+@dataclass(frozen=True)
+class DataMsg:
+    """One broadcast data message.
+
+    ``gapfill`` marks redeliveries (sent to fill another host's gap);
+    receivers treat any message numbered at or below their current
+    maximum as gap-filling regardless of the flag — the flag exists for
+    traffic accounting and traces.
+    """
+
+    seq: int
+    content: object
+    created_at: float
+    origin: HostId
+    gapfill: bool = False
+    size_bits: int = 8_000
+
+    @property
+    def kind(self) -> str:
+        """Payload class tag used for traffic accounting."""
+        return KIND_DATA
+
+
+@dataclass(frozen=True)
+class InfoMsg:
+    """Periodic INFO-set and parent-pointer exchange (also a heartbeat)."""
+
+    sender: HostId
+    info: SeqnoSet
+    parent: Optional[HostId]
+    size_bits: int = 1_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "info", _snapshot(self.info))
+
+    @property
+    def kind(self) -> str:
+        """Payload class tag used for traffic accounting."""
+        return KIND_CONTROL
+
+
+@dataclass(frozen=True)
+class AttachRequest:
+    """Child asks to be included in the candidate parent's CHILDREN set."""
+
+    child: HostId
+    child_info: SeqnoSet
+    #: monotone per-child counter so stale acks can be recognized
+    attempt: int = 0
+    size_bits: int = 1_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "child_info", _snapshot(self.child_info))
+
+    @property
+    def kind(self) -> str:
+        """Payload class tag used for traffic accounting."""
+        return KIND_CONTROL
+
+
+@dataclass(frozen=True)
+class AttachAck:
+    """Parent confirms the attachment (echoing the request's attempt)."""
+
+    parent: HostId
+    attempt: int
+    parent_info: SeqnoSet
+    parent_parent: Optional[HostId]
+    size_bits: int = 1_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parent_info", _snapshot(self.parent_info))
+
+    @property
+    def kind(self) -> str:
+        """Payload class tag used for traffic accounting."""
+        return KIND_CONTROL
+
+
+@dataclass(frozen=True)
+class DetachNotice:
+    """Child tells its former parent to forget it."""
+
+    child: HostId
+    size_bits: int = 1_000
+
+    @property
+    def kind(self) -> str:
+        """Payload class tag used for traffic accounting."""
+        return KIND_CONTROL

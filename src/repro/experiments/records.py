@@ -1,0 +1,72 @@
+"""Result records shared by experiment runners, benchmarks, and the CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from ..analysis.report import Table
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's outcome: an id, titled rows, and free-form notes."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row; cells must match the declared columns."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row missing columns {missing}")
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note."""
+        self.notes.append(text)
+
+    def table(self) -> Table:
+        """Read-only view (copy) of internal state."""
+        table = Table(self.columns, title=f"{self.experiment_id}: {self.title}")
+        for row in self.rows:
+            table.add_row(*[row[c] for c in self.columns])
+        return table
+
+    def render(self) -> str:
+        """Render as aligned plain text."""
+        parts = [self.table().render()]
+        parts.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown table (for EXPERIMENTS.md updates)."""
+        def cell(value: Any) -> str:
+            if isinstance(value, float):
+                if value != value:
+                    return "-"
+                return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+            return str(value)
+
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(cell(row[c]) for c in self.columns)
+                         + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": self.rows,
+            "notes": self.notes,
+        }

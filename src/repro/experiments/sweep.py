@@ -1,0 +1,39 @@
+"""Tiny parameter-sweep helper shared by experiments and user studies."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterator, List, Sequence
+
+
+def grid(**axes: Sequence[Any]) -> Iterator[Dict[str, Any]]:
+    """Cartesian product over named axes, in deterministic order.
+
+    >>> list(grid(a=[1, 2], b=["x"]))
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not axes:
+        return iter(())
+    names = sorted(axes)
+    for values in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, values))
+
+
+def sweep(fn: Callable[..., Dict[str, Any]],
+          **axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Call ``fn(**point)`` for every grid point; returns point+result rows.
+
+    ``fn`` must return a dict of measured values; each output row is the
+    grid point merged with the measurements (measurements win on key
+    collisions being a bug, so they are checked).
+    """
+    rows = []
+    for point in grid(**axes):
+        measured = fn(**point)
+        overlap = set(point) & set(measured)
+        if overlap:
+            raise ValueError(f"measurement keys collide with axes: {overlap}")
+        row = dict(point)
+        row.update(measured)
+        rows.append(row)
+    return rows

@@ -1,0 +1,70 @@
+"""Workload generators: how broadcast streams are injected."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..sim import Simulator
+
+
+class SourceLike(Protocol):
+    """Anything with a ``broadcast(content) -> int`` method."""
+
+    def broadcast(self, content: object = None) -> int: ...
+
+
+def constant_rate_stream(
+    sim: Simulator,
+    source: SourceLike,
+    count: int,
+    interval: float,
+    start_at: float = 0.0,
+    content: Callable[[int], object] = lambda k: f"msg-{k}",
+) -> None:
+    """``count`` messages, one every ``interval`` seconds."""
+    if count < 0 or interval <= 0:
+        raise ValueError("count must be >= 0 and interval positive")
+    for k in range(count):
+        sim.schedule_at(start_at + k * interval,
+                        lambda k=k: source.broadcast(content(k + 1)))
+
+
+def poisson_stream(
+    sim: Simulator,
+    source: SourceLike,
+    count: int,
+    rate: float,
+    start_at: float = 0.0,
+    rng_stream: str = "workload.poisson",
+    content: Callable[[int], object] = lambda k: f"msg-{k}",
+) -> None:
+    """``count`` messages with exponential inter-arrival times (mean 1/rate)."""
+    if count < 0 or rate <= 0:
+        raise ValueError("count must be >= 0 and rate positive")
+    rng = sim.rng.stream(rng_stream)
+    at = start_at
+    for k in range(count):
+        at += rng.expovariate(rate)
+        sim.schedule_at(at, lambda k=k: source.broadcast(content(k + 1)))
+
+
+def bursty_stream(
+    sim: Simulator,
+    source: SourceLike,
+    bursts: int,
+    burst_size: int,
+    burst_gap: float,
+    start_at: float = 0.0,
+    intra_burst_interval: float = 0.01,
+    content: Callable[[int], object] = lambda k: f"msg-{k}",
+) -> int:
+    """Bursts of back-to-back messages; returns the total message count."""
+    if bursts < 0 or burst_size < 1 or burst_gap <= 0 or intra_burst_interval <= 0:
+        raise ValueError("invalid burst parameters")
+    k = 0
+    for b in range(bursts):
+        for i in range(burst_size):
+            k += 1
+            at = start_at + b * burst_gap + i * intra_burst_interval
+            sim.schedule_at(at, lambda k=k: source.broadcast(content(k)))
+    return k

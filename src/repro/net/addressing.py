@@ -1,0 +1,58 @@
+"""Node and link identifiers.
+
+Hosts and servers live in separate namespaces, matching the paper's
+model: hosts are the computers that run the broadcast application;
+servers are the (nonprogrammable) communication processors they attach
+to.  Identifiers are lightweight wrappers around strings so that traces
+stay readable while the type checker keeps the two namespaces apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class HostId:
+    """Identifier of a broadcast-application host."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class ServerId:
+    """Identifier of a communication server (switch)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class LinkId:
+    """Identifier of a bidirectional link, normalized to sorted endpoints."""
+
+    a: str
+    b: str
+
+    @staticmethod
+    def of(x: str, y: str) -> "LinkId":
+        """Create a LinkId regardless of endpoint order."""
+        return LinkId(*sorted((x, y)))
+
+    def __str__(self) -> str:
+        return f"{self.a}<->{self.b}"
+
+
+def host_id(name: str) -> HostId:
+    """Shorthand constructor used throughout tests and examples."""
+    return HostId(name)
+
+
+def server_id(name: str) -> ServerId:
+    """Shorthand constructor used throughout tests and examples."""
+    return ServerId(name)

@@ -1,0 +1,128 @@
+"""A distributed distance-vector routing engine.
+
+This is the message-driven alternative to
+:class:`repro.net.routing.GlobalRoutingEngine`.  Each server keeps a
+distance vector (destination server -> (cost, next hop, age)) and
+periodically exchanges it with its *currently reachable* neighbors, in
+the spirit of the original ARPANET routing algorithm the paper cites
+([McQu80], [Rose80]).
+
+Details:
+
+* exchange happens every ``period`` simulated seconds;
+* a neighbor's advertisement is only read if the connecting link is up
+  (a down link silently stops updates, it is not "detected");
+* entries not refreshed for ``max_age`` seconds are expired, so routes
+  through dead links eventually disappear;
+* split horizon with poisoned reverse avoids the classic two-node
+  count-to-infinity loop;
+* costs above ``infinity_cost`` are treated as unreachable.
+
+Convergence after a failure takes a few periods — much slower than the
+global engine, which is the point: with this engine the paper's
+communication-transitivity assumption holds only over "sufficiently
+long" intervals, matching the paper's wording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..sim import PeriodicTask, Simulator
+from .routing import MetricFn, RoutingEngine, latency_metric
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .topology import Network
+
+#: Costs at or above this advertise "unreachable".
+DEFAULT_INFINITY = 1e9
+
+
+@dataclass
+class RouteEntry:
+    """One row of a server's distance vector."""
+
+    cost: float
+    next_hop: str
+    updated_at: float
+
+
+class DistanceVectorEngine(RoutingEngine):
+    """Periodic neighbor-exchange distance-vector routing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: "Network",
+        period: float = 0.5,
+        max_age: float = 3.0,
+        metric: MetricFn = latency_metric,
+        infinity_cost: float = DEFAULT_INFINITY,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.period = period
+        self.max_age = max_age
+        self.metric = metric
+        self.infinity_cost = infinity_cost
+        self._vectors: Dict[str, Dict[str, RouteEntry]] = {}
+        self._task = PeriodicTask(sim, period, self._exchange_round,
+                                  rng_stream="routing.distvec", name="distvec")
+        self._task.start()
+        self._bootstrap()
+
+    # -- RoutingEngine interface ----------------------------------------
+
+    def next_hop(self, at_server: str, dst_server: str) -> Optional[str]:
+        """Neighbor server to forward to, or None when unknown."""
+        entry = self._vectors.get(at_server, {}).get(dst_server)
+        if entry is None or entry.cost >= self.infinity_cost:
+            return None
+        return entry.next_hop
+
+    def on_topology_change(self) -> None:
+        """Nothing to do eagerly; failures are discovered by aging."""
+
+    def stop(self) -> None:
+        """Stop the periodic exchange (e.g. at the end of a simulation)."""
+        self._task.stop()
+
+    # -- internals --------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        for name in self.network.server_names():
+            self._vectors[name] = {name: RouteEntry(0.0, name, 0.0)}
+
+    def _exchange_round(self) -> None:
+        """One synchronous round: age out, then read neighbor vectors."""
+        now = self.sim.now
+        adjacency = self.network.server_adjacency()
+        # Age out stale routes (but never the self-route).
+        for name, vector in self._vectors.items():
+            stale = [dst for dst, entry in vector.items()
+                     if dst != name and now - entry.updated_at > self.max_age]
+            for dst in stale:
+                del vector[dst]
+        # Read the vectors advertised by reachable neighbors.  Snapshot
+        # them first so a round is order-independent (synchronous update).
+        snapshot = {name: dict(vector) for name, vector in self._vectors.items()}
+        for name in sorted(self._vectors):
+            vector = self._vectors[name]
+            for neighbor, (latency, expensive) in sorted(adjacency.get(name, {}).items()):
+                link_cost = self.metric(latency, expensive)
+                for dst, advert in snapshot.get(neighbor, {}).items():
+                    if advert.next_hop == name and dst != neighbor:
+                        continue  # split horizon (poisoned reverse)
+                    candidate = link_cost + advert.cost
+                    if candidate >= self.infinity_cost:
+                        continue
+                    current = vector.get(dst)
+                    refresh = (current is not None and current.next_hop == neighbor)
+                    if current is None or candidate < current.cost or refresh:
+                        vector[dst] = RouteEntry(candidate, neighbor, now)
+        self.sim.trace.emit("routing.distvec_round", "distvec")
+
+    def table(self, at_server: str) -> Dict[str, RouteEntry]:
+        """Read-only view of a server's vector (for tests/diagnostics)."""
+        return dict(self._vectors.get(at_server, {}))

@@ -1,0 +1,210 @@
+"""Failure injection: schedules, flapping links, and partitions.
+
+Everything here drives :meth:`repro.net.topology.Network.set_link_state`
+on the simulator's clock; the protocol under test is never told — per
+the paper, failures and repairs are undetected by the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from ..sim import Simulator
+from .addressing import HostId, LinkId
+from .topology import Network
+
+
+@dataclass(frozen=True)
+class LinkStateChange:
+    """One scheduled change: at ``time``, link (a, b) goes up or down."""
+
+    time: float
+    a: str
+    b: str
+    up: bool
+
+
+class FailureSchedule:
+    """A list of link-state changes applied at their times."""
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        self.changes: List[LinkStateChange] = []
+
+    def at(self, time: float, a: str, b: str, up: bool) -> "FailureSchedule":
+        """Schedule one change (chainable)."""
+        change = LinkStateChange(time, a, b, up)
+        self.changes.append(change)
+        self.sim.schedule_at(time, self._apply, change)
+        return self
+
+    def down(self, time: float, a: str, b: str) -> "FailureSchedule":
+        """Fail the link at ``time`` (chainable)."""
+        return self.at(time, a, b, up=False)
+
+    def up(self, time: float, a: str, b: str) -> "FailureSchedule":
+        """Repair the link at ``time`` (chainable)."""
+        return self.at(time, a, b, up=True)
+
+    def outage(self, start: float, end: float, a: str, b: str) -> "FailureSchedule":
+        """Link (a, b) is down during [start, end)."""
+        if end <= start:
+            raise ValueError(f"outage end {end} must be after start {start}")
+        return self.down(start, a, b).up(end, a, b)
+
+    def _apply(self, change: LinkStateChange) -> None:
+        self.network.set_link_state(change.a, change.b, change.up)
+        self.sim.trace.emit("failure.apply", "schedule", a=change.a, b=change.b,
+                            up=change.up)
+
+
+class LinkFlapper:
+    """Randomly fails and repairs a set of links (link churn).
+
+    Each managed link alternates up/down with exponentially distributed
+    durations, drawn from a dedicated RNG stream.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        links: Iterable[Tuple[str, str]],
+        mean_up: float = 30.0,
+        mean_down: float = 5.0,
+        rng_stream: str = "failures.flapper",
+    ) -> None:
+        if mean_up <= 0 or mean_down <= 0:
+            raise ValueError("mean_up and mean_down must be positive")
+        self.sim = sim
+        self.network = network
+        self.links = [LinkId.of(a, b) for a, b in links]
+        self.mean_up = mean_up
+        self.mean_down = mean_down
+        self._rng = sim.rng.stream(rng_stream)
+        self._running = False
+
+    def start(self) -> "LinkFlapper":
+        """Start periodic activity; returns self for chaining."""
+        self._running = True
+        for link_id in self.links:
+            self.sim.schedule(self._rng.expovariate(1.0 / self.mean_up),
+                              self._fail, link_id)
+        return self
+
+    def stop(self) -> None:
+        """Stop generating new transitions (pending ones may still fire)."""
+        self._running = False
+
+    def _fail(self, link_id: LinkId) -> None:
+        if not self._running:
+            return
+        self.network.set_link_state(link_id.a, link_id.b, up=False)
+        self.sim.schedule(self._rng.expovariate(1.0 / self.mean_down),
+                          self._repair, link_id)
+
+    def _repair(self, link_id: LinkId) -> None:
+        if not self._running:
+            return
+        self.network.set_link_state(link_id.a, link_id.b, up=True)
+        self.sim.schedule(self._rng.expovariate(1.0 / self.mean_up),
+                          self._fail, link_id)
+
+
+class ServerOutageSchedule:
+    """Scheduled whole-server crashes and repairs (paper §3).
+
+    Drives :meth:`repro.net.topology.Network.set_server_state` on the
+    simulator's clock; as with links, the application is never told.
+    """
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+
+    def crash(self, time: float, server: str) -> "ServerOutageSchedule":
+        """Crash ``server`` at ``time`` (chainable)."""
+        self.sim.schedule_at(time, self.network.set_server_state, server, False)
+        return self
+
+    def repair(self, time: float, server: str) -> "ServerOutageSchedule":
+        """Repair ``server`` at ``time`` (chainable)."""
+        self.sim.schedule_at(time, self.network.set_server_state, server, True)
+        return self
+
+    def outage(self, start: float, end: float,
+               server: str) -> "ServerOutageSchedule":
+        """``server`` is down during [start, end)."""
+        if end <= start:
+            raise ValueError(f"outage end {end} must be after start {start}")
+        return self.crash(start, server).repair(end, server)
+
+
+def cut_links_between(
+    network: Network, group_a: Sequence[str], group_b: Sequence[str]
+) -> List[Tuple[str, str]]:
+    """Find all links with one endpoint in each node group."""
+    set_a, set_b = set(group_a), set(group_b)
+    out = []
+    for link in network.links.values():
+        a, b = link.link_id.a, link.link_id.b
+        if (a in set_a and b in set_b) or (a in set_b and b in set_a):
+            out.append((a, b))
+    return sorted(out)
+
+
+class PartitionScheduler:
+    """Partition the network into node groups for a time window.
+
+    All links crossing between the given groups are failed at ``start``
+    and repaired at ``end``.  Links internal to a group are untouched.
+    """
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        self.schedule = FailureSchedule(sim, network)
+
+    def isolate(
+        self, group: Sequence[str], start: float, end: float
+    ) -> List[Tuple[str, str]]:
+        """Cut ``group`` off from the rest of the network during [start, end)."""
+        others = [name for name in self._all_nodes() if name not in set(group)]
+        return self.partition([list(group), others], start, end)
+
+    def partition(
+        self, groups: Sequence[Sequence[str]], start: float, end: float
+    ) -> List[Tuple[str, str]]:
+        """Split the network into the given groups during [start, end).
+
+        Returns the list of links that were cut.
+        """
+        cut: Set[Tuple[str, str]] = set()
+        for i, group_a in enumerate(groups):
+            for group_b in groups[i + 1:]:
+                cut.update(cut_links_between(self.network, group_a, group_b))
+        for a, b in sorted(cut):
+            self.schedule.outage(start, end, a, b)
+        return sorted(cut)
+
+    def _all_nodes(self) -> List[str]:
+        nodes = list(self.network.server_names())
+        nodes.extend(str(h) for h in self.network.hosts())
+        return nodes
+
+
+def host_group(network: Network, hosts: Iterable[HostId]) -> List[str]:
+    """Node group containing the given hosts and their servers.
+
+    Convenience for partitioning along host lines: isolating a host
+    group means cutting the trunks between their servers and the rest.
+    """
+    names: Set[str] = set()
+    for host_id in hosts:
+        names.add(str(host_id))
+        server = network.server_of(host_id)
+        if server is not None:
+            names.add(server)
+    return sorted(names)

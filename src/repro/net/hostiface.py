@@ -1,0 +1,86 @@
+"""The host's port onto the network.
+
+This is the *entire* service interface the network offers the broadcast
+application, mirroring the paper's model: a host can ask its server to
+deliver a message to one single destination, and it can receive
+messages (observing each message's cost bit).  There are no
+acknowledgments, no failure notifications, no topology information.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..sim import Simulator
+from .addressing import HostId
+from .link import Link
+from .message import Packet, Payload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .topology import Network
+
+ReceiveFn = Callable[[Packet], None]
+
+
+class HostPort:
+    """A host's attachment point: one access link to one server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_id: HostId,
+        server_name: str,
+        access_link: Link,
+        network: "Network",
+    ) -> None:
+        self.sim = sim
+        self.host_id = host_id
+        self.server_name = server_name
+        self.access_link = access_link
+        self.network = network
+        self._on_receive: Optional[ReceiveFn] = None
+
+    def set_receiver(self, callback: ReceiveFn) -> None:
+        """Register the application callback for inbound packets."""
+        self._on_receive = callback
+
+    def local_time(self) -> float:
+        """This host's wall-clock reading (true time if clocks are ideal)."""
+        return self.network.local_time(self.host_id)
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, dst: HostId, payload: Payload) -> None:
+        """Hand one individually addressed message to the server.
+
+        This is fire-and-forget: the network gives no delivery feedback
+        of any kind.  Sending to oneself is a programming error.
+        """
+        if dst == self.host_id:
+            raise ValueError(f"host {self.host_id} cannot send to itself")
+        packet = Packet(src=self.host_id, dst=dst, payload=payload,
+                        sent_at=self.sim.now,
+                        stamped_at=self.network.local_time(self.host_id))
+        self.sim.trace.emit("net.host_send", str(self.host_id), dst=str(dst),
+                            payload_kind=packet.kind, packet=packet.packet_id)
+        self.sim.metrics.counter("net.h2h.sent").inc()
+        self.sim.metrics.counter(f"net.h2h.sent.kind.{packet.kind}").inc()
+        server = self.network.servers[self.server_name]
+        self.access_link.transmit(packet, str(self.host_id), server.receive)
+
+    # -- receiving ----------------------------------------------------------
+
+    def deliver_from_network(self, packet: Packet) -> None:
+        """Called by the access link when a packet reaches this host."""
+        self.sim.trace.emit("net.host_recv", str(self.host_id), src=str(packet.src),
+                            payload_kind=packet.kind, cost_bit=packet.cost_bit,
+                            packet=packet.packet_id)
+        metrics = self.sim.metrics
+        metrics.counter("net.h2h.recv").inc()
+        metrics.counter(f"net.h2h.recv.kind.{packet.kind}").inc()
+        if packet.cost_bit:
+            metrics.counter("net.h2h.recv.expensive").inc()
+            metrics.counter(f"net.h2h.recv.expensive.kind.{packet.kind}").inc()
+        metrics.histogram("net.h2h.delay").observe(self.sim.now - packet.sent_at)
+        if self._on_receive is not None:
+            self._on_receive(packet)

@@ -1,0 +1,223 @@
+"""Point-to-point bidirectional links.
+
+Links implement the paper's failure model exactly (Section 2):
+
+* links can fail and recover at any time, *undetected* by the
+  application — a packet sent over a down link simply vanishes;
+* packets can be lost at any point even when the link is perceived to
+  be operational (``loss_prob``);
+* packets can be spontaneously duplicated (``dup_prob``);
+* packets can arrive out of order (``reorder_jitter`` adds a random
+  extra delay drawn per packet);
+* delays are otherwise latency + transmission time, with per-direction
+  serialization (a transmitter sends one packet at a time), which is
+  what produces the source-server congestion the paper discusses in
+  Section 5.
+
+Links come in two **bandwidth classes** — *cheap* (high bandwidth, e.g.
+a LAN) and *expensive* (low bandwidth, e.g. a long-haul trunk).  A
+server forwarding a packet over an expensive link sets the packet's
+cost bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Tuple
+
+from ..sim import Event, Simulator
+from .addressing import LinkId
+from .message import Packet
+
+DeliverFn = Callable[[Packet], None]
+
+
+class BandwidthClass(Enum):
+    """The paper's two-way division of links by bandwidth."""
+
+    CHEAP = "cheap"
+    EXPENSIVE = "expensive"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static link parameters.
+
+    Defaults model a LAN-class link; :func:`expensive_spec` models an
+    ARPANET-era long-haul trunk.
+    """
+
+    latency: float = 0.002
+    bandwidth_bps: float = 10_000_000.0
+    klass: BandwidthClass = BandwidthClass.CHEAP
+    loss_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_jitter: float = 0.0
+    #: drop-tail limit on packets queued per direction (switch buffer)
+    queue_limit: int = 128
+
+    @property
+    def expensive(self) -> bool:
+        """True for low-bandwidth (long-haul) links."""
+        return self.klass is BandwidthClass.EXPENSIVE
+
+
+def cheap_spec(**overrides: object) -> LinkSpec:
+    """A cheap (high-bandwidth, low-latency) link spec."""
+    return LinkSpec(**{"latency": 0.002, "bandwidth_bps": 10_000_000.0,
+                       "klass": BandwidthClass.CHEAP, **overrides})  # type: ignore[arg-type]
+
+
+def expensive_spec(**overrides: object) -> LinkSpec:
+    """An expensive (low-bandwidth, high-latency) link spec."""
+    return LinkSpec(**{"latency": 0.050, "bandwidth_bps": 56_000.0,
+                       "klass": BandwidthClass.EXPENSIVE, **overrides})  # type: ignore[arg-type]
+
+
+@dataclass
+class _Direction:
+    """Per-direction transmitter state."""
+
+    busy_until: float = 0.0
+    outstanding: int = 0
+    pending: List[Event] = field(default_factory=list)
+
+
+class Link:
+    """One bidirectional link between two nodes (servers or host access).
+
+    The link does not know about routing; callers (servers, host
+    interfaces) hand it a packet, the name of the sending endpoint, and
+    a delivery function for the far end.
+    """
+
+    def __init__(self, sim: Simulator, link_id: LinkId, spec: LinkSpec) -> None:
+        self.sim = sim
+        self.link_id = link_id
+        self.spec = spec
+        self.up = True
+        self._rng = sim.rng.stream(f"link.{link_id}")
+        self._directions: Dict[str, _Direction] = {link_id.a: _Direction(), link_id.b: _Direction()}
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def set_down(self) -> None:
+        """Fail the link; in-flight packets are lost, silently."""
+        if not self.up:
+            return
+        self.up = False
+        for direction in self._directions.values():
+            for event in direction.pending:
+                if self.sim.try_cancel(event):
+                    self.sim.trace.emit("link.drop_down", str(self.link_id))
+            direction.pending.clear()
+            direction.outstanding = 0
+            direction.busy_until = 0.0
+        self.sim.trace.emit("link.down", str(self.link_id))
+
+    def set_up(self) -> None:
+        """Repair the link."""
+        if self.up:
+            return
+        self.up = True
+        self.sim.trace.emit("link.up", str(self.link_id))
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def other_end(self, from_node: str) -> str:
+        """The opposite endpoint of ``from_node``."""
+        if from_node == self.link_id.a:
+            return self.link_id.b
+        if from_node == self.link_id.b:
+            return self.link_id.a
+        raise ValueError(f"{from_node} is not an endpoint of {self.link_id}")
+
+    def tx_time(self, packet: Packet) -> float:
+        """Transmission time of ``packet`` on this link."""
+        return packet.size_bits / self.spec.bandwidth_bps
+
+    def queue_length(self, from_node: str) -> int:
+        """Packets queued or in flight in the given direction."""
+        return self._directions[from_node].outstanding
+
+    def transmit(self, packet: Packet, from_node: str, deliver: DeliverFn) -> None:
+        """Send ``packet`` from ``from_node``; the far end gets ``deliver(packet)``.
+
+        Silently drops the packet when the link is down or the loss draw
+        fires — the sender is *not* told, per the paper's assumptions.
+        The packet's hop record and cost bit are updated here.
+        """
+        self.other_end(from_node)  # validates endpoint
+        metrics = self.sim.metrics
+        if not self.up:
+            self.sim.trace.emit("link.drop_down", str(self.link_id), packet=packet.packet_id)
+            metrics.counter("net.drop.down").inc()
+            return
+        if self.spec.loss_prob > 0 and self._rng.random() < self.spec.loss_prob:
+            self.sim.trace.emit("link.drop_loss", str(self.link_id), packet=packet.packet_id,
+                                payload_kind=packet.kind)
+            metrics.counter("net.drop.loss").inc()
+            return
+        if self._directions[from_node].outstanding >= self.spec.queue_limit:
+            # Drop-tail: the switch buffer for this direction is full.
+            self.sim.trace.emit("link.drop_overflow", str(self.link_id),
+                                packet=packet.packet_id, payload_kind=packet.kind)
+            metrics.counter("net.drop.overflow").inc()
+            return
+
+        packet.record_hop(self.link_id, self.spec.expensive)
+        metrics.counter("net.link_tx.total").inc()
+        metrics.counter(f"net.link_tx.kind.{packet.kind}").inc()
+        if self.spec.expensive:
+            metrics.counter("net.link_tx.expensive").inc()
+            metrics.counter(f"net.link_tx.expensive.kind.{packet.kind}").inc()
+        metrics.counter(f"linktx.{self.link_id}").inc()
+
+        direction = self._directions[from_node]
+        now = self.sim.now
+        start = max(now, direction.busy_until)
+        direction.busy_until = start + self.tx_time(packet)
+        delay = direction.busy_until - now + self.spec.latency
+        if self.spec.reorder_jitter > 0:
+            delay += self._rng.uniform(0.0, self.spec.reorder_jitter)
+
+        direction.outstanding += 1
+        metrics.record_series(f"linkq.{self.link_id}.{from_node}", direction.outstanding)
+        self._schedule_delivery(packet, from_node, direction, delay, deliver)
+
+        if self.spec.dup_prob > 0 and self._rng.random() < self.spec.dup_prob:
+            dup = packet.fork()
+            self.sim.trace.emit("link.dup", str(self.link_id), packet=packet.packet_id)
+            metrics.counter("net.dup").inc()
+            direction.outstanding += 1
+            self._schedule_delivery(dup, from_node, direction, delay + self.tx_time(packet),
+                                    deliver)
+
+    def _schedule_delivery(
+        self,
+        packet: Packet,
+        from_node: str,
+        direction: _Direction,
+        delay: float,
+        deliver: DeliverFn,
+    ) -> None:
+        def arrive() -> None:
+            direction.outstanding -= 1
+            self.sim.metrics.record_series(
+                f"linkq.{self.link_id}.{from_node}", direction.outstanding)
+            if event in direction.pending:
+                direction.pending.remove(event)
+            deliver(packet)
+
+        event = self.sim.schedule(delay, arrive)
+        direction.pending.append(event)
+
+
+def endpoints(link: Link) -> Tuple[str, str]:
+    """The two endpoint node names of a link."""
+    return (link.link_id.a, link.link_id.b)

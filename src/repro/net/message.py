@@ -1,0 +1,123 @@
+"""Packets and the payload protocol.
+
+A :class:`Packet` is what travels through the simulated network.  Its
+payload is *opaque to servers* — the defining property of the paper's
+nonprogrammable-server model: servers look only at the destination host
+and forward; they never inspect, duplicate, or multicast application
+content.
+
+Each packet carries the paper's **cost bit**: initialized to 0 by the
+sender and set to 1 by any server that forwards it over an *expensive*
+link (the paper's suggested mechanism, Section 2).  Receiving hosts use
+the bit to maintain their ``CLUSTER`` sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Protocol, runtime_checkable
+
+from .addressing import HostId, LinkId
+
+#: Default payload size used when a payload does not define one (bits).
+DEFAULT_SIZE_BITS = 1_000
+
+#: Default hop limit: packets caught in transient routing loops (stale
+#: tables during convergence can point two servers at each other) are
+#: discarded instead of bouncing forever.
+DEFAULT_TTL = 32
+
+
+@runtime_checkable
+class Payload(Protocol):
+    """What the network requires of application payloads.
+
+    ``kind`` is a short tag used for traffic accounting (e.g. ``"data"``
+    vs ``"control"``); ``size_bits`` drives transmission delay on
+    bandwidth-limited links.
+    """
+
+    @property
+    def kind(self) -> str: ...
+
+    @property
+    def size_bits(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class RawPayload:
+    """A trivial payload for tests and low-level benchmarks."""
+
+    content: object = None
+    kind: str = "raw"
+    size_bits: int = DEFAULT_SIZE_BITS
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One individually addressed message in flight.
+
+    Attributes:
+        src: originating host.
+        dst: destination host (always a *single* destination — servers
+            cannot handle multiply addressed messages).
+        payload: opaque application payload.
+        cost_bit: True once the packet has traversed an expensive link.
+        hops: link identifiers traversed so far (diagnostics/accounting).
+        sent_at: *true* virtual time the source host handed it to its
+            server (measurement infrastructure; never visible to hosts).
+        stamped_at: the send timestamp as written by the *sender's local
+            clock* (what the paper's transit-time mechanism reads); equals
+            sent_at unless a clock model skews the sender.
+        packet_id: unique per original send; duplicates share the id of
+            the original (useful to detect spontaneous duplication).
+    """
+
+    src: HostId
+    dst: HostId
+    payload: Payload
+    cost_bit: bool = False
+    hops: List[LinkId] = field(default_factory=list)
+    sent_at: float = 0.0
+    stamped_at: float = 0.0
+    ttl: int = DEFAULT_TTL
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size_bits(self) -> int:
+        """Serialized size of this message in bits."""
+        return getattr(self.payload, "size_bits", DEFAULT_SIZE_BITS)
+
+    @property
+    def kind(self) -> str:
+        """Payload class tag used for traffic accounting."""
+        return getattr(self.payload, "kind", "raw")
+
+    def fork(self) -> "Packet":
+        """Copy for duplication/fan-out; shares packet_id and payload."""
+        return replace(self, hops=list(self.hops))
+
+    def record_hop(self, link_id: LinkId, expensive: bool) -> None:
+        """Account for traversing ``link_id``; sets the cost bit if expensive."""
+        self.hops.append(link_id)
+        self.ttl -= 1
+        if expensive:
+            self.cost_bit = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "$" if self.cost_bit else ""
+        return f"<Packet #{self.packet_id} {self.src}->{self.dst} {self.kind}{flag}>"
+
+
+def make_packet(
+    src: HostId,
+    dst: HostId,
+    payload: Optional[Payload] = None,
+    sent_at: float = 0.0,
+) -> Packet:
+    """Convenience constructor (defaults to a RawPayload)."""
+    return Packet(src=src, dst=dst, payload=payload or RawPayload(), sent_at=sent_at)

@@ -1,0 +1,108 @@
+"""Route diagnostics: trace the path a packet would take right now.
+
+An oracle/debugging tool (the protocol itself never sees routes): walk
+the routing tables from one host toward another and report the node
+sequence, its cost class, and an idle-network latency estimate.
+Invaluable when a test fails with "packets vanish" — the answer is
+usually a stale table or a loop, and :func:`trace_route` says which.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .addressing import HostId, LinkId
+from .topology import Network
+
+
+@dataclass(frozen=True)
+class RouteTrace:
+    """Result of walking the routing tables between two hosts."""
+
+    src: HostId
+    dst: HostId
+    #: node names in order, starting with the source host, ending with
+    #: the destination host when complete
+    nodes: List[str]
+    #: "complete" | "no_route" | "loop" | "link_down"
+    status: str
+    #: True when at least one traversed link is expensive
+    expensive: bool
+    #: sum of link latencies + transmission of a 1-bit probe (idle net)
+    latency_estimate: float
+
+    @property
+    def complete(self) -> bool:
+        """True when the walk reached the destination."""
+        return self.status == "complete"
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed."""
+        return max(len(self.nodes) - 1, 0)
+
+    def __str__(self) -> str:
+        cls = "expensive" if self.expensive else "cheap"
+        return (f"{self.src}->{self.dst}: {' -> '.join(self.nodes)} "
+                f"[{self.status}, {cls}, ~{self.latency_estimate * 1000:.1f}ms]")
+
+
+def trace_route(network: Network, src: HostId, dst: HostId,
+                max_hops: int = 64) -> RouteTrace:
+    """Walk current routing state from ``src`` toward ``dst``."""
+    nodes: List[str] = [str(src)]
+    expensive = False
+    latency = 0.0
+
+    def finish(status: str) -> RouteTrace:
+        return RouteTrace(src=src, dst=dst, nodes=nodes, status=status,
+                          expensive=expensive, latency_estimate=latency)
+
+    def cross(a: str, b: str) -> Optional[str]:
+        """Traverse link a-b; returns an error status or None."""
+        nonlocal expensive, latency
+        link = network.links.get(LinkId.of(a, b))
+        if link is None or not link.up:
+            return "link_down"
+        expensive = expensive or link.spec.expensive
+        latency += link.spec.latency
+        return None
+
+    src_server = network.server_of(src)
+    dst_server = network.server_of(dst)
+    if src_server is None or dst_server is None:
+        return finish("no_route")
+    error = cross(str(src), src_server)
+    if error:
+        return finish(error)
+    nodes.append(src_server)
+
+    current = src_server
+    seen = {current}
+    while current != dst_server:
+        if len(nodes) > max_hops:
+            return finish("loop")
+        next_hop = network.routing.next_hop(current, dst_server)
+        if next_hop is None:
+            return finish("no_route")
+        error = cross(current, next_hop)
+        if error:
+            return finish(error)
+        nodes.append(next_hop)
+        if next_hop in seen:
+            return finish("loop")
+        seen.add(next_hop)
+        current = next_hop
+
+    error = cross(dst_server, str(dst))
+    if error:
+        return finish(error)
+    nodes.append(str(dst))
+    return finish("complete")
+
+
+def routes_overview(network: Network, src: HostId) -> List[RouteTrace]:
+    """Trace from ``src`` to every other host (diagnostic dump)."""
+    return [trace_route(network, src, other)
+            for other in network.hosts() if other != src]

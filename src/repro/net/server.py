@@ -1,0 +1,111 @@
+"""Nonprogrammable communication servers.
+
+A server is a pure store-and-forward switch: it accepts an individually
+addressed packet, looks up the destination host's server, and forwards
+the packet one hop along the path chosen by the routing engine.  It
+**cannot** be programmed by the broadcast application — it never
+duplicates a packet toward multiple destinations, never inspects
+payloads, and offers hosts exactly one service: "deliver this message
+to that single destination" (paper, Section 2).
+
+The only concession the network makes to the application is the *cost
+bit*, stamped by :class:`repro.net.link.Link` when a packet traverses
+an expensive link; the paper explicitly proposes this mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..sim import Simulator
+from .addressing import HostId
+from .link import Link
+from .message import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .topology import Network
+
+
+class Server:
+    """One communication server (switch) in the subnetwork."""
+
+    #: per-packet forwarding (IMP processing) delay in seconds
+    PROCESSING_DELAY = 0.0005
+
+    def __init__(self, sim: Simulator, name: str, network: "Network") -> None:
+        self.sim = sim
+        self.name = name
+        self.network = network
+        #: a failed server silently discards everything (paper §2: hosts
+        #: are reliable, servers can fail)
+        self.up = True
+        #: hosts directly attached to this server, with their access links
+        self.attached: Dict[HostId, Link] = {}
+        #: links to neighboring servers, keyed by neighbor name
+        self.trunks: Dict[str, Link] = {}
+
+    # -- wiring (done by Network during construction) ---------------------
+
+    def attach_host(self, host_id: HostId, access_link: Link) -> None:
+        """Attach a host's access link to this server."""
+        if host_id in self.attached:
+            raise ValueError(f"host {host_id} already attached to {self.name}")
+        self.attached[host_id] = access_link
+
+    def add_trunk(self, neighbor: str, link: Link) -> None:
+        """Register a trunk link to a neighbor server."""
+        if neighbor in self.trunks:
+            raise ValueError(f"trunk {self.name}<->{neighbor} already exists")
+        self.trunks[neighbor] = link
+
+    # -- forwarding --------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Handle a packet arriving at this server (from a host or a trunk).
+
+        Forwarding pays a small processing delay (the IMP's per-packet
+        work) and decrements the packet's hop limit — packets caught in
+        a transient routing loop (stale tables during convergence) are
+        discarded instead of circulating forever.
+        """
+        if not self.up:
+            self._drop(packet, "server_down")
+            return
+        if packet.ttl <= 0:
+            self._drop(packet, "ttl_expired")
+            return
+        dst_server = self.network.server_of(packet.dst)
+        if dst_server is None:
+            self._drop(packet, "unknown_host")
+            return
+        if dst_server == self.name:
+            self._deliver_locally(packet)
+            return
+        next_hop = self.network.routing.next_hop(self.name, dst_server)
+        if next_hop is None:
+            self._drop(packet, "no_route")
+            return
+        trunk = self.trunks.get(next_hop)
+        if trunk is None:
+            self._drop(packet, "no_trunk")
+            return
+        neighbor_server = self.network.servers[next_hop]
+        if self.PROCESSING_DELAY > 0:
+            self.sim.schedule(self.PROCESSING_DELAY, trunk.transmit, packet,
+                              self.name, neighbor_server.receive)
+        else:
+            trunk.transmit(packet, self.name, neighbor_server.receive)
+
+    def _deliver_locally(self, packet: Packet) -> None:
+        access = self.attached.get(packet.dst)
+        if access is None:
+            self._drop(packet, "host_not_here")
+            return
+        port = self.network.host_port(packet.dst)
+        access.transmit(packet, self.name, port.deliver_from_network)
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        """Silently drop; the application is never notified (per paper)."""
+        self.sim.trace.emit("server.drop", self.name, reason=reason,
+                            packet=packet.packet_id, dst=str(packet.dst))
+        self.sim.metrics.counter(f"net.drop.{reason}").inc()

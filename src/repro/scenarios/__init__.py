@@ -1,0 +1,17 @@
+"""Canned scenarios: paper figures and partition schedules."""
+
+from .figures import figure_3_1, figure_3_2, figure_4_1
+from .loadshift import LoadShift, apply_load_shift, load_shift_topology
+from .partitions import BriefWindowSchedule, WindowSpec, midstream_partition
+
+__all__ = [
+    "BriefWindowSchedule",
+    "LoadShift",
+    "WindowSpec",
+    "apply_load_shift",
+    "figure_3_1",
+    "figure_3_2",
+    "figure_4_1",
+    "load_shift_topology",
+    "midstream_partition",
+]

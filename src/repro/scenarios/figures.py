@@ -1,0 +1,102 @@
+"""The paper's illustrative figures as runnable topologies.
+
+* :func:`figure_3_1` — three hosts on a four-server diamond; used to
+  demonstrate that host-level broadcast cannot match the (hypothetical)
+  in-network multicast lower bound (experiment E8).
+* :func:`figure_3_2` — three clusters where cluster C can choose its
+  parent between C′ and C″ (experiment E11).
+* :func:`figure_4_1` — source s with children i and j in three separate
+  clusters; with s isolated and i, j missing different messages, only
+  non-neighbor gap filling can reconcile them (experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net import (
+    BuiltTopology,
+    HostId,
+    LinkSpec,
+    Network,
+    cheap_spec,
+    expensive_spec,
+)
+from ..sim import Simulator
+
+
+def figure_3_1(sim: Simulator, spec: Optional[LinkSpec] = None,
+               convergence_delay: float = 0.0) -> BuiltTopology:
+    """Figure 3.1: hosts h1..h3, servers s1..s4.
+
+    Links: s1–s4, s4–s2, s4–s3 (plus the three access links).  The
+    server-multicast optimum traverses each of the three trunks exactly
+    once per broadcast; host-level unicast must cross s1–s4 twice.
+    """
+    spec = spec or cheap_spec()
+    network = Network(sim)
+    for name in ["s1", "s2", "s3", "s4"]:
+        network.add_server(name)
+    network.connect("s1", "s4", spec)
+    network.connect("s4", "s2", spec)
+    network.connect("s4", "s3", spec)
+    hosts = []
+    for idx, server in [(1, "s1"), (2, "s2"), (3, "s3")]:
+        host_id = HostId(f"h{idx}")
+        network.add_host(host_id, server, access_spec=cheap_spec())
+        hosts.append(host_id)
+    network.use_global_routing(convergence_delay=convergence_delay)
+    built = BuiltTopology(network=network, hosts=hosts)
+    built.clusters = [sorted(c) for c in network.true_clusters()]
+    return built
+
+
+def figure_3_2(sim: Simulator, convergence_delay: float = 0.0) -> BuiltTopology:
+    """Figure 3.2: clusters C (2 hosts), C′ (3 hosts incl. deeper tree),
+    C″ (2 hosts); the source sits in C′'s parent position.
+
+    Concretely: cluster 0 holds the source, clusters 1 (C′) and 2 (C″)
+    both connect to cluster 0, and cluster 3 (C) connects to *both* C′
+    and C″ — so C's leader has a genuine choice of parent cluster.
+    """
+    network = Network(sim)
+    sizes = {0: 2, 1: 3, 2: 2, 3: 2}
+    hosts = []
+    clusters = []
+    for c, size in sizes.items():
+        network.add_server(f"s{c}")
+        members = []
+        for h in range(size):
+            host_id = HostId(f"h{c}.{h}")
+            network.add_host(host_id, f"s{c}", access_spec=cheap_spec())
+            members.append(host_id)
+            hosts.append(host_id)
+        clusters.append(members)
+    backbone = [("s0", "s1"), ("s0", "s2"), ("s1", "s3"), ("s2", "s3")]
+    for a, b in backbone:
+        network.connect(a, b, expensive_spec())
+    network.use_global_routing(convergence_delay=convergence_delay)
+    return BuiltTopology(network=network, hosts=hosts, clusters=clusters,
+                         backbone=backbone)
+
+
+def figure_4_1(sim: Simulator, convergence_delay: float = 0.0) -> BuiltTopology:
+    """Figure 4.1: s, i, j in three singleton clusters, fully meshed.
+
+    The trunk mesh (ss–si, ss–sj, si–sj) lets i and j keep talking after
+    s is isolated — the precondition of the Section 4.4 example.
+    """
+    network = Network(sim)
+    for name in ["ss", "si", "sj"]:
+        network.add_server(name)
+    backbone = [("ss", "si"), ("ss", "sj"), ("si", "sj")]
+    for a, b in backbone:
+        network.connect(a, b, expensive_spec())
+    hosts = []
+    for name, server in [("s", "ss"), ("i", "si"), ("j", "sj")]:
+        host_id = HostId(name)
+        network.add_host(host_id, server, access_spec=cheap_spec())
+        hosts.append(host_id)
+    network.use_global_routing(convergence_delay=convergence_delay)
+    return BuiltTopology(network=network, hosts=hosts,
+                         clusters=[[h] for h in hosts], backbone=backbone)

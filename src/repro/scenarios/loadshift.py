@@ -1,0 +1,94 @@
+"""The load-shift scenario: delay-adaptive re-parenting (Section 3).
+
+The paper's motivating example for dynamic tree restructuring: cluster
+C can choose its parent among clusters that receive broadcast messages
+at different delays, and "at a later time, due to changing message
+traffic, some other cluster can become a more desirable parent."
+
+Topology (all trunks expensive):
+
+    A(src) ── B1 ──┐
+      │            C (2 hosts)
+      └──── B2 ────┘
+
+Cross-traffic first loads the A→B2 trunk (so C settles on a parent
+whose path avoids it), then shifts to the A→B1 trunk.  A protocol with
+case II option 3 enabled migrates C's leader toward the now-faster
+side; with it disabled the leader stays put and eats the queueing
+delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net import (
+    BuiltTopology,
+    CrossTrafficGenerator,
+    CrossTrafficSpec,
+    HostId,
+    Network,
+    cheap_spec,
+    expensive_spec,
+)
+from ..sim import Simulator
+
+
+def load_shift_topology(sim: Simulator,
+                        convergence_delay: float = 0.5) -> BuiltTopology:
+    """Four clusters: A (source), relays B1/B2, and C behind both."""
+    network = Network(sim)
+    for name in ("s0", "s1", "s2", "s3"):
+        network.add_server(name)
+    backbone = [("s0", "s1"), ("s0", "s2"), ("s1", "s3"), ("s2", "s3")]
+    for a, b in backbone:
+        network.connect(a, b, expensive_spec())
+    hosts = []
+    layout = [("src", "s0"), ("b1", "s1"), ("b2", "s2"),
+              ("c0", "s3"), ("c1", "s3")]
+    for name, server in layout:
+        host_id = HostId(name)
+        network.add_host(host_id, server, access_spec=cheap_spec())
+        hosts.append(host_id)
+    network.use_global_routing(convergence_delay=convergence_delay)
+    return BuiltTopology(
+        network=network, hosts=hosts, backbone=backbone,
+        clusters=[[hosts[0]], [hosts[1]], [hosts[2]], [hosts[3], hosts[4]]])
+
+
+@dataclass
+class LoadShift:
+    """Two-phase cross-traffic: first one trunk loaded, then the other."""
+
+    generator_phase1: CrossTrafficGenerator
+    generator_phase2: CrossTrafficGenerator
+    shift_at: float
+
+    def total_injected(self, sim: Simulator) -> float:
+        """Filler packets injected so far."""
+        return sim.metrics.counter("xtraffic.injected").value
+
+
+def apply_load_shift(
+    sim: Simulator,
+    built: BuiltTopology,
+    shift_at: float,
+    spec: Optional[CrossTrafficSpec] = None,
+) -> LoadShift:
+    """Load A→B2 until ``shift_at``, then A→B1 from then on."""
+    spec = spec or CrossTrafficSpec(rate=6.5, size_bits=8_000)
+    phase1 = CrossTrafficGenerator(sim, "xtraffic.phase1")
+    phase1.load(built.network.link("s0", "s2"), "s0", spec)
+    phase1.start()
+    phase2 = CrossTrafficGenerator(sim, "xtraffic.phase2")
+    phase2.load(built.network.link("s0", "s1"), "s0", spec)
+
+    def shift() -> None:
+        phase1.stop()
+        phase2.start()
+        sim.trace.emit("scenario.load_shift", "loadshift", at=sim.now)
+
+    sim.schedule_at(shift_at, shift)
+    return LoadShift(generator_phase1=phase1, generator_phase2=phase2,
+                     shift_at=shift_at)

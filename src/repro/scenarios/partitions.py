@@ -1,0 +1,91 @@
+"""Partition-centric scenarios (experiments E4 and E7).
+
+* :func:`midstream_partition` — a cluster is cut off for a window in
+  the middle of a broadcast stream, then the partition heals.
+* :class:`BriefWindowSchedule` — the Section 6 trade-off scenario: two
+  halves of the network are partitioned *almost always*, connected only
+  during brief periodic windows.  A protocol's reliability is its
+  ability to exploit those windows; its cost is what it spends probing
+  for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..net import (
+    BuiltTopology,
+    FailureSchedule,
+    PartitionScheduler,
+    host_group,
+)
+from ..sim import Simulator
+
+
+def midstream_partition(
+    built: BuiltTopology,
+    cluster_index: int,
+    start: float,
+    end: float,
+) -> List[Tuple[str, str]]:
+    """Isolate one generator cluster (hosts + its server) during [start, end)."""
+    if not built.clusters:
+        raise ValueError("topology has no cluster metadata")
+    cluster = built.clusters[cluster_index]
+    group = host_group(built.network, cluster)
+    server = built.network.server_of(cluster[0])
+    if server is not None and server not in group:
+        group.append(server)
+    scheduler = PartitionScheduler(built.network.sim, built.network)
+    return scheduler.isolate(group, start, end)
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Periodic brief connectivity: every ``period``, up for ``width``."""
+
+    period: float
+    width: float
+    first_open: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0 or self.width <= 0 or self.width >= self.period:
+            raise ValueError("need 0 < width < period")
+
+
+class BriefWindowSchedule:
+    """Keep a set of links down except during periodic brief windows."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        built: BuiltTopology,
+        links: Sequence[Tuple[str, str]],
+        window: WindowSpec,
+        until: float,
+    ) -> None:
+        self.schedule = FailureSchedule(sim, built.network)
+        self.windows: List[Tuple[float, float]] = []
+        # Down from t=0 (well, immediately) until the first window.
+        for a, b in links:
+            if window.first_open > 0:
+                self.schedule.down(0.0, a, b)
+        t = window.first_open
+        while t < until:
+            open_at, close_at = t, min(t + window.width, until)
+            self.windows.append((open_at, close_at))
+            for a, b in links:
+                if open_at > 0:
+                    self.schedule.up(open_at, a, b)
+                self.schedule.down(close_at, a, b)
+            t += window.period
+        # Leave the links up after the experiment horizon so any final
+        # accounting isn't confounded by a dangling partition.
+        for a, b in links:
+            self.schedule.up(until + 1e-9, a, b)
+
+    @property
+    def total_open_time(self) -> float:
+        """Total seconds of connectivity granted over all windows."""
+        return sum(close - open_ for open_, close in self.windows)

@@ -1,0 +1,132 @@
+"""Events and the pending-event queue.
+
+The queue is a binary heap ordered by ``(time, priority, sequence)``.
+The monotonically increasing sequence number makes ordering of
+same-time, same-priority events deterministic (FIFO in scheduling
+order), which is what makes whole simulations bit-reproducible for a
+given seed.
+
+Cancellation is *lazy*: a cancelled event stays in the heap but is
+skipped when popped.  This keeps `cancel` O(1) and is the standard
+technique for discrete-event simulators.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from .errors import EventAlreadyCancelledError
+
+Callback = Callable[..., None]
+
+#: Default event priority.  Lower values run first among same-time events.
+DEFAULT_PRIORITY = 0
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.kernel.Simulator.schedule`
+    and should be treated as opaque handles by callers; the only useful
+    public operations are :meth:`cancel` (via the simulator) and the
+    read-only properties below.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "kwargs", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callback,
+        args: Tuple[Any, ...],
+        kwargs: Optional[dict],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs or {}
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been cancelled."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled.
+
+        Raises:
+            EventAlreadyCancelledError: if cancelled twice.
+        """
+        if self._cancelled:
+            raise EventAlreadyCancelledError(f"event {self!r} already cancelled")
+        self._cancelled = True
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """Heap ordering key: (time, priority, sequence)."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " cancelled" if self._cancelled else ""
+        return f"<Event t={self.time:.6f} prio={self.priority} #{self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (not cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callback,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Add an event and return its handle."""
+        event = Event(time, priority, next(self._counter), callback, args, kwargs)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def note_cancelled(self) -> None:
+        """Account for an event that was cancelled via its handle."""
+        self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,155 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns the virtual clock, the pending-event queue, a
+registry of named RNG streams, a tracer, and a metrics registry.  All
+higher layers (network substrate, protocol hosts, workloads) schedule
+callbacks on it and never touch wall-clock time or global randomness.
+
+Typical use::
+
+    sim = Simulator(seed=7)
+    sim.schedule(1.5, my_callback, arg1, arg2)
+    sim.run(until=100.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .errors import SchedulingInPastError, SimulatorFinishedError
+from .event import DEFAULT_PRIORITY, Event, EventQueue
+from .metrics import MetricsRegistry
+from .rng import RngRegistry
+from .trace import Tracer
+
+Callback = Callable[..., None]
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        seed: master seed; all randomness in the simulation derives
+            from it through named streams (see :class:`RngRegistry`).
+        trace: optional pre-built tracer; a fresh one is created when
+            omitted.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[Tracer] = None) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._finished = False
+        self._events_executed = 0
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else Tracer(self)
+        self.metrics = MetricsRegistry(self)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of live scheduled events."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callback,
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SchedulingInPastError(self._now, self._now + delay)
+        return self._queue.push(self._now + delay, callback, args, kwargs, priority)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callback,
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SchedulingInPastError(self._now, when)
+        return self._queue.push(when, callback, args, kwargs, priority)
+
+    def call_soon(self, callback: Callback, *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self._queue.push(self._now, callback, args, kwargs, DEFAULT_PRIORITY)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        event.cancel()
+        self._queue.note_cancelled()
+
+    def try_cancel(self, event: Optional[Event]) -> bool:
+        """Cancel ``event`` if it is still live; return whether it was."""
+        if event is None or event.cancelled:
+            return False
+        self.cancel(event)
+        return True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single earliest event.  Returns False when idle."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_executed += 1
+        event.callback(*event.args, **event.kwargs)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` on return even if the queue drained earlier, so
+        successive ``run`` calls compose naturally.
+
+        Returns:
+            The virtual time at which execution stopped.
+        """
+        if self._finished:
+            raise SimulatorFinishedError("simulator already finished")
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def finish(self) -> None:
+        """Mark the simulation finished; further ``run`` calls raise."""
+        self._finished = True

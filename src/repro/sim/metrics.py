@@ -1,0 +1,207 @@
+"""Simulation metrics: counters, gauges, histograms, and time series.
+
+The metrics registry is owned by the simulator so every sample is
+implicitly stamped with virtual time.  The analysis layer
+(:mod:`repro.analysis`) builds the paper's cost/delay tables from these
+primitives plus the trace.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import Simulator
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter (amount must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (amount={amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that can move both ways, with peak tracking."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge value, tracking the peak."""
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def add(self, amount: float) -> None:
+        """Add to the gauge value, tracking the peak."""
+        self.set(self.value + amount)
+
+
+class Histogram:
+    """Exact histogram of observed samples with quantile queries.
+
+    Samples are kept sorted; suitable for the sample counts seen in
+    these simulations (up to a few hundred thousand observations).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation; see class docs for semantics."""
+        insort(self._samples, value)
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        """Number of records/samples matching."""
+        return len(self._samples)
+
+    @property
+    def sum(self) -> float:
+        """Sum of all recorded samples."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (NaN when empty)."""
+        if not self._samples:
+            return math.nan
+        return self._sum / len(self._samples)
+
+    @property
+    def min(self) -> float:
+        """Smallest recorded value (NaN when empty)."""
+        return self._samples[0] if self._samples else math.nan
+
+    @property
+    def max(self) -> float:
+        """Largest recorded value (NaN when empty)."""
+        return self._samples[-1] if self._samples else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile, q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return math.nan
+        if len(self._samples) == 1:
+            return self._samples[0]
+        pos = q * (len(self._samples) - 1)
+        low = int(math.floor(pos))
+        high = int(math.ceil(pos))
+        low_val, high_val = self._samples[low], self._samples[high]
+        if low == high or low_val == high_val:
+            return low_val
+        frac = pos - low
+        return low_val + frac * (high_val - low_val)
+
+    def stddev(self) -> float:
+        """Sample standard deviation (0 for fewer than two samples)."""
+        if len(self._samples) < 2:
+            return 0.0
+        mean = self.mean
+        var = sum((s - mean) ** 2 for s in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(var)
+
+    def count_above(self, threshold: float) -> int:
+        """Number of samples strictly greater than ``threshold``."""
+        return len(self._samples) - bisect_left(self._samples, math.nextafter(threshold, math.inf))
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. queue length over time."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Record one delivery; duplicate sequence numbers are a bug."""
+        self.points.append((time, value))
+
+    def values(self) -> List[float]:
+        """The recorded values, in order."""
+        return [value for _, value in self.points]
+
+    def max(self) -> float:
+        """Largest recorded value (NaN when empty)."""
+        return max(self.values()) if self.points else math.nan
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted average assuming step interpolation."""
+        if not self.points:
+            return math.nan
+        end = until if until is not None else self.points[-1][0]
+        total = 0.0
+        for (t0, v0), (t1, _) in zip(self.points, self.points[1:]):
+            total += v0 * (min(t1, end) - t0)
+        last_t, last_v = self.points[-1]
+        if end > last_t:
+            total += last_v * (end - last_t)
+        span = end - self.points[0][0]
+        return total / span if span > 0 else self.points[0][1]
+
+
+class MetricsRegistry:
+    """Namespace of metrics owned by one simulator."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, created on first use."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def series(self, name: str) -> TimeSeries:
+        """The named time series, created on first use."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def record_series(self, name: str, value: float) -> None:
+        """Append a point stamped with the current virtual time."""
+        self.series(name).record(self._sim.now, value)
+
+    def counters(self, prefix: str = "") -> Dict[str, float]:
+        """Snapshot of all counter values whose name starts with ``prefix``."""
+        return {
+            name: counter.value
+            for name, counter in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }

@@ -1,0 +1,125 @@
+"""Structured event tracing.
+
+Components emit :class:`TraceRecord` instances through the simulator's
+tracer.  Records carry the virtual timestamp, a dotted ``kind`` (e.g.
+``"host.deliver"``, ``"link.drop"``), the emitting component's name, and
+free-form fields.  Tests and the analysis layer query the recorded
+stream; subscribers can also react to records as they are emitted.
+
+Recording is opt-in per ``kind`` prefix so long benchmarks can run with
+tracing disabled (the default records everything, which is what unit and
+integration tests want).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence inside a simulation."""
+
+    time: float
+    kind: str
+    source: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The record for ``seq``, or None if not delivered."""
+        return self.fields.get(key, default)
+
+
+Subscriber = Callable[[TraceRecord], None]
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects and notifies subscribers."""
+
+    def __init__(self, sim: "Simulator", enabled: bool = True) -> None:
+        self._sim = sim
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._subscribers: List[Tuple[str, Subscriber]] = []
+
+    # -- emission ------------------------------------------------------
+
+    def emit(self, kind: str, source: str, /, **fields: Any) -> None:
+        """Record an occurrence of ``kind`` from ``source``.
+
+        Subscribers matching the kind prefix are always notified;
+        records are retained only while ``enabled`` is True.
+        """
+        if not self.enabled and not self._subscribers:
+            return
+        record = TraceRecord(self._sim.now, kind, source, fields)
+        if self.enabled:
+            self._records.append(record)
+        for prefix, subscriber in self._subscribers:
+            if record.kind.startswith(prefix):
+                subscriber(record)
+
+    # -- subscription ---------------------------------------------------
+
+    def subscribe(self, prefix: str, subscriber: Subscriber) -> None:
+        """Call ``subscriber`` for every record whose kind starts with ``prefix``."""
+        self._subscribers.append((prefix, subscriber))
+
+    # -- querying -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        since: float = float("-inf"),
+        **field_filters: Any,
+    ) -> List[TraceRecord]:
+        """Return records filtered by kind prefix, source, time, and fields."""
+        out = []
+        for record in self._records:
+            if kind is not None and not record.kind.startswith(kind):
+                continue
+            if source is not None and record.source != source:
+                continue
+            if record.time < since:
+                continue
+            if any(record.get(key) != value for key, value in field_filters.items()):
+                continue
+            out.append(record)
+        return out
+
+    def count(self, kind: Optional[str] = None, **field_filters: Any) -> int:
+        """Number of records matching the given filters."""
+        return len(self.records(kind=kind, **field_filters))
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        """Most recent record with the given kind prefix, if any."""
+        for record in reversed(self._records):
+            if record.kind.startswith(kind):
+                return record
+        return None
+
+    def clear(self) -> None:
+        """Drop all retained records (subscribers are kept)."""
+        self._records.clear()
+
+
+def summarize_kinds(records: Iterable[TraceRecord]) -> Dict[str, int]:
+    """Histogram of record kinds — handy in test failure messages."""
+    out: Dict[str, int] = {}
+    for record in records:
+        out[record.kind] = out.get(record.kind, 0) + 1
+    return out

@@ -1,0 +1,23 @@
+"""Abstract protocol specification and trace conformance checking.
+
+A machine-checked stand-in for the paper's formal specification
+([Garc87]): :class:`BroadcastSpec` states the Section 4 safety rules as
+an abstract state machine; :func:`check_conformance` replays a concrete
+simulation trace against it.
+"""
+
+from .conformance import ConformanceReport, check_conformance, check_refinement, check_trace
+from .model import Attach, Broadcast, BroadcastSpec, Deliver, Detach, SpecState
+
+__all__ = [
+    "Attach",
+    "Broadcast",
+    "BroadcastSpec",
+    "ConformanceReport",
+    "Deliver",
+    "Detach",
+    "SpecState",
+    "check_conformance",
+    "check_refinement",
+    "check_trace",
+]

@@ -1,0 +1,140 @@
+"""Trace conformance: replay a concrete run against the abstract model.
+
+The simulation's structured trace records every externally visible
+protocol event.  :func:`check_conformance` maps those records to the
+abstract actions of :class:`repro.spec.model.BroadcastSpec`, replays
+them in timestamp order, and reports every safety violation — a
+machine-checked bridge between the implementation and the paper's
+Section 4 rules.
+
+Event mapping:
+
+==================  =============================================
+trace kind          abstract action
+==================  =============================================
+source.broadcast    Broadcast(seq)
+host.deliver        Deliver(host, seq, sender)
+host.attach_ok      Attach(host, parent)
+host.detach         Detach(host)
+host.parent_timeout Detach(host)
+==================  =============================================
+
+Tracing must be enabled for the run being checked (it is by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.engine import BroadcastSystem
+from ..net import HostId
+from ..sim import Simulator, TraceRecord
+from .model import Attach, Broadcast, BroadcastSpec, Deliver, Detach
+
+#: trace kinds the checker consumes, in one pass
+_RELEVANT = ("source.broadcast", "host.deliver", "host.attach_ok",
+             "host.detach", "host.parent_timeout")
+
+
+@dataclass
+class ConformanceReport:
+    """Everything the checker found."""
+
+    actions_checked: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        status = "OK" if self.ok else f"{len(self.violations)} violations"
+        return f"<ConformanceReport {self.actions_checked} actions, {status}>"
+
+
+def _to_action(record: TraceRecord):
+    if record.kind == "source.broadcast":
+        return Broadcast(seq=record["seq"])
+    if record.kind == "host.deliver":
+        return Deliver(host=HostId(record.source), seq=record["seq"],
+                       sender=HostId(record["sender"]))
+    if record.kind == "host.attach_ok":
+        return Attach(host=HostId(record.source),
+                      parent=HostId(record["parent"]))
+    if record.kind in ("host.detach", "host.parent_timeout"):
+        return Detach(host=HostId(record.source))
+    return None
+
+
+def check_trace(
+    sim: Simulator,
+    source: HostId,
+    hosts: Sequence[HostId],
+    expect_complete: bool = False,
+) -> ConformanceReport:
+    """Replay a simulator's trace against the abstract specification."""
+    spec = BroadcastSpec(source=source, hosts=hosts)
+    report = ConformanceReport()
+    relevant = [r for r in sim.trace if r.kind in _RELEVANT]
+    relevant.sort(key=lambda r: r.time)
+    for record in relevant:
+        action = _to_action(record)
+        if action is None:  # pragma: no cover - _RELEVANT covers all
+            continue
+        report.actions_checked += 1
+        violation = spec.apply(action)
+        if violation is not None:
+            report.violations.append(f"t={record.time:.3f}: {violation}")
+    report.violations.extend(spec.final_check(expect_complete=expect_complete))
+    return report
+
+
+def check_refinement(system: BroadcastSystem,
+                     spec: BroadcastSpec) -> List[str]:
+    """State correspondence: the concrete hosts must match the abstract
+    state reached by replaying the trace.
+
+    This is the refinement half of a simulation-relation argument: the
+    trace replay establishes that every step was *allowed*; this check
+    establishes that the implementation's final state is the one the
+    abstract machine computes from those steps.
+    """
+    violations = []
+    for host_id, host in system.hosts.items():
+        concrete_info = set(host.info)
+        abstract_info = spec.state.info.get(host_id, set())
+        if concrete_info != abstract_info:
+            missing = sorted(abstract_info - concrete_info)
+            extra = sorted(concrete_info - abstract_info)
+            violations.append(
+                f"{host_id} INFO diverges from the abstract state "
+                f"(missing {missing}, extra {extra})")
+        if host_id != system.source_id:
+            abstract_parent = spec.state.parent.get(host_id)
+            if host.parent != abstract_parent:
+                violations.append(
+                    f"{host_id} parent is {host.parent} but the abstract "
+                    f"state says {abstract_parent}")
+    return violations
+
+
+def check_conformance(system: BroadcastSystem,
+                      expect_complete: bool = False) -> ConformanceReport:
+    """Check a BroadcastSystem's whole run: trace safety + refinement."""
+    spec = BroadcastSpec(source=system.source_id, hosts=system.built.hosts)
+    report = ConformanceReport()
+    relevant = [r for r in system.sim.trace if r.kind in _RELEVANT]
+    relevant.sort(key=lambda r: r.time)
+    for record in relevant:
+        action = _to_action(record)
+        if action is None:  # pragma: no cover - _RELEVANT covers all
+            continue
+        report.actions_checked += 1
+        violation = spec.apply(action)
+        if violation is not None:
+            report.violations.append(f"t={record.time:.3f}: {violation}")
+    report.violations.extend(spec.final_check(expect_complete=expect_complete))
+    report.violations.extend(check_refinement(system, spec))
+    return report

@@ -1,0 +1,194 @@
+"""An executable abstract model of the broadcast protocol.
+
+The paper's formal specification lives in a separate technical report
+([Garc87], by Garcia-Molina, Kogan, and Lynch).  We cannot reproduce
+that document, but we can do the next best thing: state the protocol's
+*safety* rules as an abstract state machine over global state, and
+check every concrete simulation trace against it
+(:mod:`repro.spec.conformance`).
+
+Abstract global state:
+
+* ``broadcast``      — the set of sequence numbers the source has issued
+* ``info[h]``        — the messages host *h* has accepted
+* ``parent[h]``      — *h*'s current parent pointer
+
+Abstract actions (each mirrors a traced concrete event):
+
+* ``Broadcast(seq)``              — the source issues the next message
+* ``Deliver(host, seq, sender)``  — a host accepts a message
+* ``Attach(host, parent)``        — a host adopts a new parent
+* ``Detach(host)``                — a host clears its parent pointer
+
+Preconditions encode the paper's Section 4 safety rules:
+
+1. the source issues consecutive sequence numbers starting at 1;
+2. a host never accepts a message that was never broadcast (no
+   malicious messages, Section 2);
+3. a host never accepts the same message twice (exactly-once delivery);
+4. the supplier itself must already hold the message it supplies;
+5. **the acceptance rule**: a message numbered above everything the
+   host holds is accepted only from the host's current parent
+   (Section 4.1) — anyone may fill holes below the maximum;
+6. the source never attaches; a host never adopts itself.
+
+A violated precondition is returned as a human-readable string; the
+model never raises, so a checker can collect every violation in a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..net import HostId
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """The source issues the next data message."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class Deliver:
+    """A host accepts one message supplied by ``sender``."""
+
+    host: HostId
+    seq: int
+    sender: HostId
+
+
+@dataclass(frozen=True)
+class Attach:
+    """A host adopts a new parent."""
+
+    host: HostId
+    parent: HostId
+
+
+@dataclass(frozen=True)
+class Detach:
+    """A host clears its parent pointer."""
+
+    host: HostId
+
+
+Action = Union[Broadcast, Deliver, Attach, Detach]
+
+
+@dataclass
+class SpecState:
+    """The abstract global state."""
+
+    source: HostId
+    hosts: List[HostId]
+    broadcast: Set[int] = field(default_factory=set)
+    next_seq: int = 1
+    info: Dict[HostId, Set[int]] = field(default_factory=dict)
+    parent: Dict[HostId, Optional[HostId]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for host in self.hosts:
+            self.info.setdefault(host, set())
+            self.parent.setdefault(host, None)
+
+    def max_info(self, host: HostId) -> int:
+        """Largest sequence number the host holds (0 if none)."""
+        values = self.info[host]
+        return max(values) if values else 0
+
+
+class BroadcastSpec:
+    """Precondition/effect semantics for the abstract actions."""
+
+    def __init__(self, source: HostId, hosts: Sequence[HostId]) -> None:
+        if source not in hosts:
+            raise ValueError(f"source {source} must be one of the hosts")
+        self.state = SpecState(source=source, hosts=list(hosts))
+
+    # ------------------------------------------------------------------
+
+    def precondition(self, action: Action) -> Optional[str]:
+        """None when the action is allowed; otherwise the violated rule."""
+        state = self.state
+        if isinstance(action, Broadcast):
+            if action.seq != state.next_seq:
+                return (f"source must issue seq {state.next_seq}, "
+                        f"issued {action.seq}")
+            return None
+        if isinstance(action, Deliver):
+            if action.host not in state.info:
+                return f"unknown host {action.host}"
+            if action.seq not in state.broadcast:
+                if not (action.host == state.source
+                        and action.sender == state.source):
+                    return (f"{action.host} accepted seq {action.seq} "
+                            f"which was never broadcast")
+            if action.seq in state.info[action.host]:
+                return (f"{action.host} accepted seq {action.seq} twice")
+            if (action.sender != action.host
+                    and action.seq not in state.info.get(action.sender, set())):
+                return (f"supplier {action.sender} gave {action.host} seq "
+                        f"{action.seq} without holding it")
+            if (action.host != state.source
+                    and action.seq > state.max_info(action.host)
+                    and action.sender != state.parent[action.host]):
+                return (f"{action.host} accepted new-maximum seq {action.seq} "
+                        f"from {action.sender}, but its parent is "
+                        f"{state.parent[action.host]}")
+            return None
+        if isinstance(action, Attach):
+            if action.host == state.source:
+                return "the source never attaches to a parent"
+            if action.parent == action.host:
+                return f"{action.host} attached to itself"
+            if action.parent not in state.info:
+                return f"{action.host} attached to unknown host {action.parent}"
+            return None
+        if isinstance(action, Detach):
+            if action.host == state.source:
+                return "the source has no parent to detach from"
+            return None
+        return f"unknown action {action!r}"  # pragma: no cover
+
+    def apply(self, action: Action) -> Optional[str]:
+        """Check the precondition; when satisfied, apply the effect.
+
+        Returns the violation (and still applies a best-effort effect so
+        one early violation does not cascade into hundreds of bogus
+        follow-ups).
+        """
+        violation = self.precondition(action)
+        state = self.state
+        if isinstance(action, Broadcast):
+            state.broadcast.add(action.seq)
+            state.next_seq = max(state.next_seq, action.seq + 1)
+            state.info[state.source].add(action.seq)
+        elif isinstance(action, Deliver):
+            state.info.setdefault(action.host, set()).add(action.seq)
+        elif isinstance(action, Attach):
+            state.parent[action.host] = action.parent
+        elif isinstance(action, Detach):
+            state.parent[action.host] = None
+        return violation
+
+    # ------------------------------------------------------------------
+
+    def final_check(self, expect_complete: bool = False) -> List[str]:
+        """End-of-run checks over the accumulated abstract state."""
+        violations = []
+        state = self.state
+        for host in state.hosts:
+            extra = state.info[host] - state.broadcast
+            if extra:
+                violations.append(
+                    f"{host} holds never-broadcast messages {sorted(extra)}")
+        if expect_complete:
+            for host in state.hosts:
+                missing = state.broadcast - state.info[host]
+                if missing:
+                    violations.append(
+                        f"{host} never received {sorted(missing)}")
+        return violations

@@ -1,0 +1,30 @@
+"""Verification oracles: invariants and convergence driving."""
+
+from .invariants import (
+    check_all,
+    check_children_consistency,
+    check_induces_cluster_tree,
+    check_info_dominance,
+    check_is_tree_rooted_at_source,
+    check_no_harmful_cycles,
+    check_single_leader_per_cluster,
+    find_parent_cycles,
+    true_leaders,
+)
+from .liveness import OpportunityAuditor, ReliabilityReport
+from .oracle import run_to_quiescence
+
+__all__ = [
+    "check_all",
+    "check_children_consistency",
+    "check_induces_cluster_tree",
+    "check_info_dominance",
+    "check_is_tree_rooted_at_source",
+    "check_no_harmful_cycles",
+    "check_single_leader_per_cluster",
+    "find_parent_cycles",
+    "OpportunityAuditor",
+    "ReliabilityReport",
+    "run_to_quiescence",
+    "true_leaders",
+]

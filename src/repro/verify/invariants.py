@@ -1,0 +1,168 @@
+"""Invariant checkers (verification oracles) over a running system.
+
+These read protocol *and* ground-truth network state — they are test
+oracles, never used by the protocol itself.  Each check returns a list
+of human-readable violations (empty = invariant holds), so tests can
+assert emptiness and print the reasons on failure.
+
+The invariants come from Section 4.3:
+
+* no *stable* cycle in the host parent graph unless the cycle's hosts
+  are partitioned away from everyone with newer messages;
+* a host's INFO maximum never exceeds its parent's (hosts accept
+  new-maximum data only from their parent);
+* at quiescence, each true cluster has exactly one leader and the host
+  parent graph induces a cluster tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core.engine import BroadcastSystem
+from ..net import HostId
+
+
+def find_parent_cycles(system: BroadcastSystem) -> List[List[HostId]]:
+    """All distinct cycles in the current host parent graph."""
+    parents = system.parent_edges()
+    cycles: List[List[HostId]] = []
+    seen_cycle_members: Set[HostId] = set()
+    for start in sorted(parents):
+        if start in seen_cycle_members:
+            continue
+        walk: List[HostId] = []
+        positions: Dict[HostId, int] = {}
+        current: Optional[HostId] = start
+        while current is not None and current not in seen_cycle_members:
+            if current in positions:
+                cycle = walk[positions[current]:]
+                cycles.append(cycle)
+                seen_cycle_members.update(cycle)
+                break
+            positions[current] = len(walk)
+            walk.append(current)
+            current = parents.get(current)
+    return cycles
+
+
+def check_no_harmful_cycles(system: BroadcastSystem) -> List[str]:
+    """Cycles are only tolerable while their members are partitioned
+    away from every host with a larger INFO set (Section 4.3)."""
+    violations = []
+    for cycle in find_parent_cycles(system):
+        cycle_max = max(system.hosts[h].info.max_seqno for h in cycle)
+        for other in system.built.hosts:
+            if other in cycle:
+                continue
+            if system.hosts[other].info.max_seqno <= cycle_max:
+                continue
+            if any(system.network.reachable(member, other) for member in cycle):
+                violations.append(
+                    f"cycle {[str(h) for h in cycle]} persists although "
+                    f"{other} is reachable with a larger INFO set")
+                break
+    return violations
+
+
+def check_info_dominance(system: BroadcastSystem) -> List[str]:
+    """A child's INFO maximum never exceeds its parent's."""
+    violations = []
+    for child_id, parent_id in system.parent_edges().items():
+        if parent_id is None or parent_id not in system.hosts:
+            continue
+        child_max = system.hosts[child_id].info.max_seqno
+        parent_max = system.hosts[parent_id].info.max_seqno
+        if child_max > parent_max:
+            violations.append(
+                f"{child_id} (max {child_max}) exceeds its parent "
+                f"{parent_id} (max {parent_max})")
+    return violations
+
+
+def true_leaders(system: BroadcastSystem) -> Dict[int, List[HostId]]:
+    """Leaders per ground-truth cluster (parent None or outside it)."""
+    clusters = system.network.true_clusters()
+    parents = system.parent_edges()
+    out: Dict[int, List[HostId]] = {}
+    for idx, cluster in enumerate(clusters):
+        leaders = [h for h in sorted(cluster)
+                   if parents.get(h) is None or parents[h] not in cluster]
+        out[idx] = leaders
+    return out
+
+
+def check_single_leader_per_cluster(system: BroadcastSystem) -> List[str]:
+    """At quiescence every true cluster has exactly one leader."""
+    violations = []
+    for idx, leaders in true_leaders(system).items():
+        if len(leaders) != 1:
+            violations.append(
+                f"cluster {idx} has {len(leaders)} leaders: "
+                f"{[str(h) for h in leaders]}")
+    return violations
+
+
+def check_is_tree_rooted_at_source(system: BroadcastSystem) -> List[str]:
+    """Every host reaches the source by following parent pointers."""
+    violations = []
+    parents = system.parent_edges()
+    source = system.source_id
+    if parents[source] is not None:
+        violations.append(f"source {source} has a parent: {parents[source]}")
+    for host_id in system.built.hosts:
+        if host_id == source:
+            continue
+        current: Optional[HostId] = host_id
+        hops = 0
+        limit = len(system.built.hosts) + 1
+        while current is not None and current != source and hops <= limit:
+            current = parents.get(current)
+            hops += 1
+        if current != source:
+            violations.append(f"{host_id} does not reach the source "
+                              f"via parent pointers")
+    return violations
+
+
+def check_induces_cluster_tree(system: BroadcastSystem) -> List[str]:
+    """The Section 4.1 predicate: H is a tree, and in every cluster all
+    non-leader members are children of the cluster's single leader."""
+    violations = check_is_tree_rooted_at_source(system)
+    violations.extend(check_single_leader_per_cluster(system))
+    parents = system.parent_edges()
+    for cluster in system.network.true_clusters():
+        leaders = [h for h in sorted(cluster)
+                   if parents.get(h) is None or parents[h] not in cluster]
+        if len(leaders) != 1:
+            continue  # already reported
+        leader = leaders[0]
+        for member in sorted(cluster):
+            if member != leader and parents.get(member) != leader:
+                violations.append(
+                    f"{member} is in {leader}'s cluster but its parent is "
+                    f"{parents.get(member)}")
+    return violations
+
+
+def check_children_consistency(system: BroadcastSystem) -> List[str]:
+    """Every parent pointer is mirrored by a CHILDREN entry (quiescent)."""
+    violations = []
+    for child_id, parent_id in system.parent_edges().items():
+        if parent_id is None or parent_id not in system.hosts:
+            continue
+        if child_id not in system.hosts[parent_id].children:
+            violations.append(
+                f"{parent_id} does not list {child_id} as a child")
+    return violations
+
+
+def check_all(system: BroadcastSystem, quiescent: bool = False) -> List[str]:
+    """Run every applicable invariant; quiescent adds structure checks."""
+    violations = []
+    violations.extend(check_no_harmful_cycles(system))
+    violations.extend(check_info_dominance(system))
+    if quiescent:
+        violations.extend(check_induces_cluster_tree(system))
+        violations.extend(check_children_consistency(system))
+    return violations

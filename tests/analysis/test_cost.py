@@ -1,0 +1,58 @@
+"""Tests for cost accounting."""
+
+import pytest
+
+from repro.analysis import CounterSnapshot, cost_report, optimal_inter_cluster_cost
+from repro.core import BroadcastSystem
+from repro.net import wan_of_lans
+from repro.sim import Simulator
+
+
+def test_optimal_cost_is_k_minus_1():
+    assert optimal_inter_cluster_cost(1) == 0
+    assert optimal_inter_cluster_cost(5) == 4
+    with pytest.raises(ValueError):
+        optimal_inter_cluster_cost(0)
+
+
+def test_cost_report_requires_positive_messages():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        cost_report(sim, 0)
+
+
+def test_cost_report_reads_counters():
+    sim = Simulator()
+    sim.metrics.counter("net.h2h.recv.expensive.kind.data").inc(10)
+    sim.metrics.counter("net.link_tx.total").inc(40)
+    report = cost_report(sim, messages=5)
+    assert report.inter_cluster_data_per_msg == 2.0
+    assert report.link_transmissions_per_msg == 8.0
+    assert "inter_cluster_data_per_msg" in report.as_dict()
+
+
+def test_snapshot_isolates_marginal_cost():
+    sim = Simulator()
+    counter = sim.metrics.counter("net.h2h.recv.expensive.kind.data")
+    counter.inc(100)  # construction cost
+    snapshot = CounterSnapshot(sim)
+    counter.inc(20)   # steady-state cost
+    report = cost_report(sim, messages=10, since=snapshot)
+    assert report.inter_cluster_data_per_msg == 2.0
+
+
+def test_end_to_end_cost_close_to_optimal():
+    """The paper's headline: steady state costs ~k-1 per message."""
+    sim = Simulator(seed=1)
+    k = 3
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=3, backbone="line")
+    system = BroadcastSystem(built).start()
+    system.broadcast_stream(5, interval=1.0, start_at=2.0)
+    assert system.run_until_delivered(5, timeout=120.0)
+    sim.run(until=sim.now + 20.0)
+    snapshot = CounterSnapshot(sim)
+    system.broadcast_stream(20, interval=1.0, start_at=sim.now + 1.0)
+    assert system.run_until_delivered(25, timeout=200.0)
+    report = cost_report(sim, 20, since=snapshot)
+    optimal = optimal_inter_cluster_cost(k)
+    assert optimal <= report.inter_cluster_data_per_msg <= optimal * 1.5

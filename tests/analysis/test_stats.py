@@ -1,0 +1,91 @@
+"""Tests for multi-trial statistics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import Summary, aggregate_rows, summarize, t_critical_95
+
+
+class TestTCritical:
+    def test_known_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(10) == pytest.approx(2.228)
+        assert t_critical_95(30) == pytest.approx(2.042)
+        assert t_critical_95(1000) == pytest.approx(1.96)
+
+    def test_rejects_zero_dof(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([3.5])
+        assert s.n == 1
+        assert s.mean == 3.5
+        assert s.stddev == 0.0
+        assert math.isnan(s.ci95_half_width)
+
+    def test_known_example(self):
+        s = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.mean == pytest.approx(5.0)
+        assert s.stddev == pytest.approx(2.138, abs=1e-3)
+        assert s.ci95_half_width == pytest.approx(
+            2.365 * 2.138 / math.sqrt(8), abs=1e-2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_interval_overlap(self):
+        a = summarize([1.0, 1.1, 0.9])
+        b = summarize([1.05, 1.15, 0.95])
+        c = summarize([10.0, 10.1, 9.9])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert not c.overlaps(a)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2,
+                    max_size=40))
+    def test_ci_contains_mean_and_is_symmetric(self, values):
+        s = summarize(values)
+        assert s.ci_low <= s.mean <= s.ci_high
+        assert s.ci_high - s.mean == pytest.approx(s.mean - s.ci_low, abs=1e-9)
+
+    @given(st.floats(min_value=-50, max_value=50),
+           st.integers(min_value=2, max_value=20))
+    def test_constant_samples_zero_width(self, value, n):
+        s = summarize([value] * n)
+        # Floating-point summation can leave ~1e-17 residue; that is zero.
+        assert s.stddev == pytest.approx(0.0, abs=1e-9)
+        assert s.ci95_half_width == pytest.approx(0.0, abs=1e-9)
+
+
+class TestAggregateRows:
+    def test_groups_and_summarizes(self):
+        rows = [
+            {"cfg": "a", "x": 1.0},
+            {"cfg": "a", "x": 3.0},
+            {"cfg": "b", "x": 10.0},
+        ]
+        out = aggregate_rows(rows, group_by=["cfg"], measures=["x"])
+        assert len(out) == 2
+        assert out[0]["cfg"] == "a"
+        assert out[0]["trials"] == 2
+        assert out[0]["x_mean"] == 2.0
+        assert out[1]["x_mean"] == 10.0
+
+    def test_preserves_first_appearance_order(self):
+        rows = [{"g": "z", "v": 1.0}, {"g": "a", "v": 2.0},
+                {"g": "z", "v": 3.0}]
+        out = aggregate_rows(rows, ["g"], ["v"])
+        assert [r["g"] for r in out] == ["z", "a"]
+
+    def test_multiple_measures(self):
+        rows = [{"g": 1, "a": 1.0, "b": 5.0}, {"g": 1, "a": 3.0, "b": 7.0}]
+        (out,) = aggregate_rows(rows, ["g"], ["a", "b"])
+        assert out["a_mean"] == 2.0
+        assert out["b_mean"] == 6.0

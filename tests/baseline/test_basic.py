@@ -1,0 +1,113 @@
+"""Tests for the paper's basic algorithm baseline."""
+
+import pytest
+
+from repro.baseline import BasicBroadcastSystem, BasicConfig
+from repro.net import HostId, cheap_spec, expensive_spec, wan_of_lans
+from repro.sim import Simulator
+
+
+def build(k=2, m=2, seed=0, config=None, **spec_kwargs):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m, backbone="line",
+                        convergence_delay=0.0, **spec_kwargs)
+    system = BasicBroadcastSystem(built, config=config)
+    return sim, built, system
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BasicConfig(retry_period=0.0)
+    with pytest.raises(ValueError):
+        BasicConfig(retry_batch_limit=0)
+
+
+def test_broadcast_reaches_all_hosts():
+    sim, built, system = build()
+    system.start()
+    system.broadcast_stream(5, interval=0.5, start_at=1.0)
+    assert system.run_until_delivered(5, timeout=60.0)
+
+
+def test_source_sends_one_copy_per_host():
+    sim, built, system = build(k=3, m=2)
+    system.start()
+    system.source.broadcast("x")
+    sim.run(until=1.0)
+    # 5 receivers -> 5 individually addressed sends.
+    assert sim.metrics.counter("net.h2h.sent.kind.data").value == 5
+
+
+def test_acks_flow_back():
+    sim, built, system = build()
+    system.start()
+    system.source.broadcast("x")
+    sim.run(until=5.0)
+    assert not system.source.unacked
+
+
+def test_retransmits_until_acked_under_loss():
+    sim, built, system = build(
+        cheap=cheap_spec(loss_prob=0.3), expensive=expensive_spec(loss_prob=0.3),
+        config=BasicConfig(retry_period=0.5), seed=3)
+    system.start()
+    system.broadcast_stream(5, interval=0.5, start_at=1.0)
+    assert system.run_until_delivered(5, timeout=120.0)
+    assert sim.metrics.counter("basic.retransmissions").value > 0
+
+
+def test_keeps_retrying_into_partition():
+    """The paper's waste argument: unacked copies are retried forever."""
+    sim, built, system = build(config=BasicConfig(retry_period=1.0))
+    system.start()
+    built.network.set_link_state("s0", "s1", up=False)
+    system.source.broadcast("x")
+    sim.run(until=30.0)
+    assert sim.metrics.counter("basic.retransmissions").value >= 25
+    assert system.source.unacked  # still outstanding
+
+
+def test_recovers_after_partition_heals():
+    sim, built, system = build(config=BasicConfig(retry_period=1.0))
+    system.start()
+    built.network.set_link_state("s0", "s1", up=False)
+    system.source.broadcast("x")
+    sim.run(until=10.0)
+    built.network.set_link_state("s0", "s1", up=True)
+    assert system.run_until_delivered(1, timeout=30.0)
+
+
+def test_all_recoveries_come_from_source():
+    from repro.analysis import recovery_locality
+
+    sim, built, system = build(
+        cheap=cheap_spec(loss_prob=0.2), expensive=expensive_spec(loss_prob=0.2),
+        config=BasicConfig(retry_period=0.5), seed=5)
+    system.start()
+    system.broadcast_stream(10, interval=0.5, start_at=1.0)
+    assert system.run_until_delivered(10, timeout=200.0)
+    locality = recovery_locality(system.delivery_records(), built.network,
+                                 system.source_id)
+    assert locality.total_recoveries > 0
+    assert locality.source_fraction == 1.0
+
+
+def test_duplicate_data_not_redelivered():
+    sim, built, system = build(config=BasicConfig(retry_period=0.2))
+    system.start()
+    # Kill the reverse path for acks only: drop the host's sends by
+    # downing its access link after delivery is impossible... simpler:
+    # lose all acks via a very lossy trunk is probabilistic; instead
+    # verify via records that retransmissions never duplicate records.
+    system.broadcast_stream(3, interval=0.2, start_at=1.0)
+    system.run_until_delivered(3, timeout=30.0)
+    for host_id, records in system.delivery_records().items():
+        seqs = [r.seq for r in records]
+        assert len(seqs) == len(set(seqs))
+
+
+def test_invalid_source_rejected():
+    sim = Simulator(seed=0)
+    built = wan_of_lans(sim, 2, 1, convergence_delay=0.0)
+    with pytest.raises(ValueError):
+        BasicBroadcastSystem(built, source=HostId("nope"))

@@ -1,0 +1,86 @@
+"""Tests for the anti-entropy epidemic baseline."""
+
+import pytest
+
+from repro.baseline import EpidemicBroadcastSystem, EpidemicConfig
+from repro.net import cheap_spec, expensive_spec, wan_of_lans
+from repro.sim import Simulator
+
+
+def build(k=2, m=2, seed=0, config=None, **spec_kwargs):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m, backbone="line",
+                        convergence_delay=0.0, **spec_kwargs)
+    system = EpidemicBroadcastSystem(built, config=config)
+    return sim, built, system
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        EpidemicConfig(sync_period=0.0)
+    with pytest.raises(ValueError):
+        EpidemicConfig(fanout=-1)
+    with pytest.raises(ValueError):
+        EpidemicConfig(batch_limit=0)
+
+
+def test_gossip_spreads_to_everyone():
+    sim, built, system = build(k=3, m=2)
+    system.start()
+    system.broadcast_stream(5, interval=0.5, start_at=1.0)
+    assert system.run_until_delivered(5, timeout=120.0)
+
+
+def test_spreads_without_eager_push():
+    """Pure anti-entropy (fanout=0) must still converge."""
+    sim, built, system = build(config=EpidemicConfig(fanout=0, sync_period=0.5))
+    system.start()
+    system.source.broadcast("x")
+    assert system.run_until_delivered(1, timeout=60.0)
+
+
+def test_survives_loss():
+    sim, built, system = build(
+        cheap=cheap_spec(loss_prob=0.2), expensive=expensive_spec(loss_prob=0.2),
+        config=EpidemicConfig(sync_period=0.5), seed=4)
+    system.start()
+    system.broadcast_stream(5, interval=0.5, start_at=1.0)
+    assert system.run_until_delivered(5, timeout=200.0)
+
+
+def test_no_duplicate_deliveries():
+    sim, built, system = build(k=3, m=2, config=EpidemicConfig(fanout=3))
+    system.start()
+    system.broadcast_stream(10, interval=0.2, start_at=1.0)
+    assert system.run_until_delivered(10, timeout=120.0)
+    for host_id, records in system.delivery_records().items():
+        seqs = [r.seq for r in records]
+        assert len(seqs) == len(set(seqs))
+
+
+def test_sync_traffic_flows():
+    sim, built, system = build()
+    system.start()
+    sim.run(until=20.0)
+    assert sim.metrics.counter("epidemic.syncs").value > 10
+
+
+def test_deterministic_per_seed():
+    def run(seed):
+        sim, built, system = build(seed=seed, k=3, m=2)
+        system.start()
+        system.broadcast_stream(5, interval=0.5, start_at=1.0)
+        system.run_until_delivered(5, timeout=120.0)
+        return sim.metrics.counter("net.h2h.sent").value
+
+    assert run(7) == run(7)
+
+
+def test_stop_halts_gossip():
+    sim, built, system = build()
+    system.start()
+    sim.run(until=5.0)
+    system.stop()
+    syncs = sim.metrics.counter("epidemic.syncs").value
+    sim.run(until=50.0)
+    assert sim.metrics.counter("epidemic.syncs").value == syncs

@@ -1,0 +1,249 @@
+"""Unit tests for the attachment procedure's case analysis (Section 4.2)."""
+
+from typing import Dict, Iterable, Optional
+
+from repro.core import SeqnoSet
+from repro.core.attachment import AttachmentView, classify_case, plan_attachment
+from repro.core.cluster import ClusterView
+from repro.core.config import ClusterMode
+from repro.core.mapstate import MapState
+from repro.net import HostId
+
+ME = HostId("me")
+
+
+def build_view(
+    parent: Optional[str] = None,
+    cluster: Iterable[str] = (),
+    infos: Optional[Dict[str, int]] = None,
+    parents: Optional[Dict[str, Optional[str]]] = None,
+    my_info: int = 0,
+    order: Optional[Dict[str, int]] = None,
+    participants: Optional[Iterable[str]] = None,
+    delay_optimization: bool = True,
+    delay_opt_margin: int = 1,
+) -> AttachmentView:
+    """Build an AttachmentView from compact string-based specs.
+
+    ``infos`` maps host name -> INFO max (represented as {1..max});
+    ``parents`` maps host name -> its parent's name (or None).
+    """
+    infos = infos or {}
+    parents = parents or {}
+    all_names = set(infos) | set(parents) | set(cluster)
+    if participants is not None:
+        all_names |= set(participants)
+    own = SeqnoSet(range(1, my_info + 1))
+    maps = MapState(ME, own)
+    cl = ClusterView(ME, ClusterMode.STATIC,
+                     static_members={HostId(c) for c in cluster})
+    for name in sorted(all_names):
+        info = SeqnoSet(range(1, infos.get(name, 0) + 1))
+        parent_id = parents.get(name)
+        maps.apply_info(HostId(name), info,
+                        HostId(parent_id) if parent_id else None)
+    order = order or {}
+    default_order = {name: idx for idx, name in enumerate(sorted(all_names))}
+    default_order["me"] = order.get("me", -1)
+
+    def order_fn(h: HostId) -> int:
+        return order.get(h.name, default_order.get(h.name, 0))
+
+    return AttachmentView(
+        me=ME,
+        parent=HostId(parent) if parent else None,
+        participants=sorted(HostId(n) for n in all_names),
+        cluster=cl,
+        maps=maps,
+        order=order_fn,
+        delay_optimization=delay_optimization,
+        delay_opt_margin=delay_opt_margin,
+    )
+
+
+def names(plan):
+    return [(c.target.name, c.case, c.option) for c in plan.candidates]
+
+
+class TestCaseClassification:
+    def test_no_parent_is_case_i(self):
+        assert classify_case(build_view()) == "I"
+
+    def test_out_of_cluster_parent_is_case_ii(self):
+        view = build_view(parent="p", cluster=["a"])
+        assert classify_case(view) == "II"
+
+    def test_in_cluster_parent_is_case_iii(self):
+        view = build_view(parent="a", cluster=["a"])
+        assert classify_case(view) == "III"
+
+
+class TestCaseI:
+    def test_option1_in_cluster_leader_with_greater_info(self):
+        view = build_view(cluster=["a"], infos={"a": 3}, parents={"a": "x"},
+                         my_info=1)
+        plan = plan_attachment(view)
+        assert ("a", "I", 1) in names(plan)
+
+    def test_option1_requires_greater_info(self):
+        view = build_view(cluster=["a"], infos={"a": 1}, parents={"a": "x"},
+                         my_info=1)
+        plan = plan_attachment(view)
+        assert all(opt != 1 for _, _, opt in names(plan))
+
+    def test_option1_requires_candidate_to_be_leader(self):
+        # a's parent b is inside my cluster -> a is not a leader.
+        view = build_view(cluster=["a", "b"], infos={"a": 3}, parents={"a": "b"},
+                         my_info=1)
+        plan = plan_attachment(view)
+        assert ("a", "I", 1) not in names(plan)
+
+    def test_option2_equal_info_higher_order(self):
+        view = build_view(cluster=["a"], infos={"a": 2}, my_info=2,
+                         order={"me": 0, "a": 5})
+        plan = plan_attachment(view)
+        assert ("a", "I", 2) in names(plan)
+
+    def test_option2_rejects_lower_order(self):
+        view = build_view(cluster=["a"], infos={"a": 2}, my_info=2,
+                         order={"me": 9, "a": 5})
+        plan = plan_attachment(view)
+        assert names(plan) == []
+
+    def test_option3_out_of_cluster_greater_info(self):
+        view = build_view(cluster=[], infos={"z": 4}, my_info=2)
+        plan = plan_attachment(view)
+        assert ("z", "I", 3) in names(plan)
+
+    def test_option3_rejects_equal_info(self):
+        view = build_view(cluster=[], infos={"z": 2}, my_info=2)
+        plan = plan_attachment(view)
+        assert names(plan) == []
+
+    def test_options_are_prioritized_in_order(self):
+        view = build_view(
+            cluster=["a", "b"],
+            infos={"a": 5, "b": 2, "z": 9},
+            parents={"a": "x"},
+            my_info=2,
+            order={"me": 0, "b": 3},
+        )
+        plan = plan_attachment(view)
+        got = names(plan)
+        # option1 (a) before option2 (b) before option3 (z)
+        assert got.index(("a", "I", 1)) < got.index(("b", "I", 2)) < got.index(("z", "I", 3))
+
+    def test_candidates_within_option_sorted_by_info_then_order(self):
+        view = build_view(
+            cluster=["a", "b", "c"],
+            infos={"a": 3, "b": 5, "c": 5},
+            parents={"a": "x", "b": "x", "c": "x"},
+            my_info=1,
+            order={"b": 2, "c": 1},
+        )
+        plan = plan_attachment(view)
+        opt1 = [n for n, _, o in names(plan) if o == 1]
+        assert opt1 == ["c", "b", "a"]  # 5-max first; order(c) < order(b)
+
+    def test_never_proposes_self(self):
+        view = build_view(cluster=["me"], infos={"me": 9}, my_info=0)
+        plan = plan_attachment(view)
+        assert all(n != "me" for n, _, _ in names(plan))
+
+
+class TestCaseII:
+    def test_options_1_and_2_reused(self):
+        view = build_view(parent="p", cluster=["a"], my_info=1,
+                         infos={"a": 3, "p": 3}, parents={"a": "x"})
+        plan = plan_attachment(view)
+        assert plan.case == "II"
+        assert ("a", "II", 1) in names(plan)
+
+    def test_option3_candidate_ahead_of_parent(self):
+        view = build_view(parent="p", cluster=[], my_info=2,
+                         infos={"p": 3, "z": 4}, delay_opt_margin=1)
+        plan = plan_attachment(view)
+        assert ("z", "II", 3) in names(plan)
+
+    def test_option3_compares_against_parent_not_self(self):
+        # z is ahead of me but NOT ahead of my parent -> no candidate.
+        view = build_view(parent="p", cluster=[], my_info=1,
+                         infos={"p": 5, "z": 4}, delay_opt_margin=1)
+        plan = plan_attachment(view)
+        assert names(plan) == []
+
+    def test_option3_margin_hysteresis(self):
+        view = build_view(parent="p", cluster=[], my_info=2,
+                         infos={"p": 3, "z": 4}, delay_opt_margin=2)
+        assert names(plan_attachment(view)) == []
+        view2 = build_view(parent="p", cluster=[], my_info=2,
+                          infos={"p": 3, "z": 5}, delay_opt_margin=2)
+        assert ("z", "II", 3) in names(plan_attachment(view2))
+
+    def test_option3_disabled_by_ablation_flag(self):
+        view = build_view(parent="p", cluster=[], my_info=2,
+                         infos={"p": 3, "z": 9}, delay_optimization=False)
+        assert names(plan_attachment(view)) == []
+
+    def test_option3_never_proposes_current_parent(self):
+        view = build_view(parent="p", cluster=[], my_info=1, infos={"p": 5})
+        assert names(plan_attachment(view)) == []
+
+
+class TestCaseIII:
+    def test_attaches_to_leader_ancestor(self):
+        # me -> a -> L, L's parent x outside the cluster, L INFO >= mine.
+        view = build_view(parent="a", cluster=["a", "L"], my_info=2,
+                         infos={"a": 2, "L": 2}, parents={"a": "L", "L": "x"})
+        plan = plan_attachment(view)
+        assert plan.case == "III"
+        assert names(plan) == [("L", "III", 1)]
+
+    def test_rejects_ancestor_with_smaller_info(self):
+        view = build_view(parent="a", cluster=["a", "L"], my_info=5,
+                         infos={"a": 5, "L": 2}, parents={"a": "L", "L": "x"})
+        assert names(plan_attachment(view)) == []
+
+    def test_rejects_non_leader_ancestor(self):
+        # L's parent is inside my cluster -> L is not a leader.
+        view = build_view(parent="a", cluster=["a", "L", "q"], my_info=1,
+                         infos={"a": 1, "L": 3}, parents={"a": "L", "L": "q"})
+        assert names(plan_attachment(view)) == []
+
+    def test_never_proposes_current_parent(self):
+        view = build_view(parent="a", cluster=["a"], my_info=1,
+                         infos={"a": 3}, parents={"a": "x"})
+        assert names(plan_attachment(view)) == []
+
+    def test_out_of_cluster_ancestors_not_candidates(self):
+        view = build_view(parent="a", cluster=["a"], my_info=1,
+                         infos={"a": 1, "z": 5}, parents={"a": "z", "z": None})
+        assert names(plan_attachment(view)) == []
+
+
+class TestCycleBreaking:
+    def cycle_view(self, my_order, a_order=1, b_order=2):
+        return build_view(parent="a", cluster=["a", "b"], my_info=2,
+                         infos={"a": 2, "b": 2},
+                         parents={"a": "b", "b": "me"},
+                         order={"me": my_order, "a": a_order, "b": b_order})
+
+    def test_cycle_detected(self):
+        plan = plan_attachment(self.cycle_view(my_order=0))
+        assert plan.cycle_detected
+        assert [h.name for h in plan.cycle] == ["me", "a", "b"]
+
+    def test_highest_order_member_must_break(self):
+        plan = plan_attachment(self.cycle_view(my_order=9))
+        assert plan.must_break_cycle
+
+    def test_lower_order_member_waits(self):
+        plan = plan_attachment(self.cycle_view(my_order=0))
+        assert not plan.must_break_cycle
+        assert plan.candidates == []
+
+    def test_cycle_not_through_me_is_not_my_problem(self):
+        view = build_view(parent="a", cluster=["a", "b", "c"], my_info=1,
+                         infos={"a": 1}, parents={"a": "b", "b": "c", "c": "b"})
+        plan = plan_attachment(view)
+        assert not plan.cycle_detected

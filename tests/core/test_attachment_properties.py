@@ -1,0 +1,136 @@
+"""Property-based tests of the attachment procedure's case analysis.
+
+Hypothesis generates random host states (cluster views, MAP contents,
+parent pointers, orders); every candidate the planner emits must
+satisfy the paper's formulas for its claimed case/option, re-verified
+here by an independent predicate implementation.
+"""
+
+from typing import Dict, Optional
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import SeqnoSet
+from repro.core.attachment import AttachmentView, classify_case, plan_attachment
+from repro.core.cluster import ClusterView
+from repro.core.config import ClusterMode
+from repro.core.mapstate import MapState
+from repro.net import HostId
+
+ME = HostId("me")
+OTHERS = [HostId(f"p{i}") for i in range(5)]
+ALL = [ME] + OTHERS
+
+
+@st.composite
+def views(draw):
+    """A random, internally consistent AttachmentView."""
+    in_cluster = draw(st.sets(st.sampled_from(OTHERS), max_size=4))
+    my_max = draw(st.integers(min_value=0, max_value=6))
+    own = SeqnoSet(range(1, my_max + 1))
+    maps = MapState(ME, own)
+    parents: Dict[HostId, Optional[HostId]] = {}
+    for other in OTHERS:
+        other_max = draw(st.integers(min_value=0, max_value=6))
+        parent = draw(st.sampled_from([None] + ALL))
+        parents[other] = parent
+        maps.apply_info(other, SeqnoSet(range(1, other_max + 1)), parent)
+    my_parent = draw(st.sampled_from([None] + OTHERS))
+    orders = draw(st.permutations(range(len(ALL))))
+    order_map = dict(zip(ALL, orders))
+    cluster = ClusterView(ME, ClusterMode.STATIC, static_members=in_cluster)
+    margin = draw(st.integers(min_value=1, max_value=3))
+    return AttachmentView(
+        me=ME, parent=my_parent, participants=sorted(OTHERS),
+        cluster=cluster, maps=maps, order=order_map.__getitem__,
+        delay_optimization=draw(st.booleans()), delay_opt_margin=margin)
+
+
+def is_leader(view, j):
+    return j in view.cluster and view.maps.parent_of(j) not in view.cluster
+
+
+@given(views())
+def test_case_matches_parent_location(view):
+    case = classify_case(view)
+    if view.parent is None:
+        assert case == "I"
+    elif view.parent in view.cluster:
+        assert case == "III"
+    else:
+        assert case == "II"
+
+
+@given(views())
+def test_candidates_satisfy_their_claimed_formulas(view):
+    plan = plan_attachment(view)
+    my_max = view.maps.info_of(ME).max_seqno
+    for candidate in plan.candidates:
+        j = candidate.target
+        j_max = view.maps.info_of(j).max_seqno
+        assert j != ME
+        assert j != view.parent
+        assert candidate.case == plan.case
+        if candidate.case in ("I", "II") and candidate.option == 1:
+            assert is_leader(view, j)
+            assert my_max < j_max
+        elif candidate.case in ("I", "II") and candidate.option == 2:
+            assert is_leader(view, j)
+            assert my_max == j_max
+            assert view.order(ME) < view.order(j)
+        elif candidate.case == "I" and candidate.option == 3:
+            assert j not in view.cluster
+            assert my_max < j_max
+        elif candidate.case == "II" and candidate.option == 3:
+            assert view.delay_optimization
+            assert j not in view.cluster
+            parent_max = view.maps.info_of(view.parent).max_seqno
+            assert j_max >= parent_max + view.delay_opt_margin
+        elif candidate.case == "III":
+            assert is_leader(view, j)
+            ancestors, _ = view.maps.ancestors_of_me(view.parent)
+            assert j in ancestors
+            assert my_max <= j_max
+        else:  # pragma: no cover
+            raise AssertionError(f"unknown option {candidate}")
+
+
+@given(views())
+def test_candidate_priority_never_inverts_options(view):
+    """Within a case, lower-numbered options come first."""
+    plan = plan_attachment(view)
+    options = [c.option for c in plan.candidates]
+    seen_best: Dict[HostId, int] = {}
+    # Options are emitted grouped; a later candidate can't belong to an
+    # earlier option group once a higher option started.
+    assert options == sorted(options)
+
+
+@given(views())
+def test_cycle_breaking_only_for_highest_order(view):
+    plan = plan_attachment(view)
+    if plan.cycle_detected:
+        assert plan.case == "III"
+        assert ME in plan.cycle
+        highest = max(plan.cycle, key=lambda h: (view.order(h), str(h)))
+        assert plan.must_break_cycle == (highest == ME)
+        assert plan.candidates == []
+
+
+@given(views())
+def test_planner_is_deterministic(view):
+    first = plan_attachment(view)
+    second = plan_attachment(view)
+    assert [c.target for c in first.candidates] == \
+        [c.target for c in second.candidates]
+    assert first.cycle_detected == second.cycle_detected
+
+
+@given(views())
+def test_planner_does_not_mutate_state(view):
+    info_before = {h: list(view.maps.info_of(h)) for h in ALL}
+    cluster_before = view.cluster.members()
+    plan_attachment(view)
+    assert {h: list(view.maps.info_of(h)) for h in ALL} == info_before
+    assert view.cluster.members() == cluster_before

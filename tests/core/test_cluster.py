@@ -1,0 +1,76 @@
+"""Unit tests for CLUSTER-set maintenance."""
+
+import pytest
+
+from repro.core import ClusterMode, ClusterView
+from repro.net import HostId
+
+ME = HostId("me")
+J = HostId("j")
+K = HostId("k")
+
+
+def test_initializes_to_self_only():
+    view = ClusterView(ME)
+    assert view.members() == {ME}
+    assert ME in view
+    assert J not in view
+    assert len(view) == 1
+
+
+def test_cheap_message_admits_sender():
+    view = ClusterView(ME)
+    assert view.observe(J, cost_bit=False) is True
+    assert J in view
+    assert view.observe(J, cost_bit=False) is False  # already in
+
+
+def test_expensive_message_evicts_sender():
+    view = ClusterView(ME)
+    view.observe(J, cost_bit=False)
+    assert view.observe(J, cost_bit=True) is True
+    assert J not in view
+    assert view.observe(J, cost_bit=True) is False  # already out
+
+
+def test_self_is_never_evicted():
+    view = ClusterView(ME)
+    assert view.observe(ME, cost_bit=True) is False
+    assert ME in view
+
+
+def test_none_is_never_a_member():
+    view = ClusterView(ME)
+    assert None not in view
+
+
+def test_neighbors_excludes_self():
+    view = ClusterView(ME)
+    view.observe(J, cost_bit=False)
+    view.observe(K, cost_bit=False)
+    assert view.neighbors() == {J, K}
+    assert view.members() == {ME, J, K}
+
+
+def test_members_returns_copy():
+    view = ClusterView(ME)
+    members = view.members()
+    members.add(J)
+    assert J not in view
+
+
+def test_static_mode_requires_members_and_ignores_observations():
+    with pytest.raises(ValueError):
+        ClusterView(ME, ClusterMode.STATIC)
+    view = ClusterView(ME, ClusterMode.STATIC, static_members={J})
+    assert view.members() == {ME, J}
+    assert view.observe(K, cost_bit=False) is False
+    assert K not in view
+    assert view.observe(J, cost_bit=True) is False
+    assert J in view  # static knowledge never changes
+
+
+def test_singleton_mode_never_learns():
+    view = ClusterView(ME, ClusterMode.SINGLETON)
+    assert view.observe(J, cost_bit=False) is False
+    assert view.members() == {ME}

@@ -1,0 +1,90 @@
+"""Unit tests for ProtocolConfig validation and derivation helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import ClusterMode, ProtocolConfig
+
+
+def test_defaults_are_valid():
+    cfg = ProtocolConfig()
+    assert cfg.cluster_mode is ClusterMode.DYNAMIC
+    assert cfg.enable_delay_optimization
+
+
+@pytest.mark.parametrize("field,value", [
+    ("attachment_period", 0.0),
+    ("attachment_period", -1.0),
+    ("attach_ack_timeout", 0.0),
+    ("info_intra_period", 0.0),
+    ("info_inter_period", -2.0),
+    ("parent_timeout_intra", 0.0),
+    ("parent_timeout_inter", 0.0),
+    ("gapfill_neighbor_intra_period", 0.0),
+    ("gapfill_neighbor_inter_period", 0.0),
+    ("gapfill_nonneighbor_period", 0.0),
+    ("gapfill_batch_limit", 0),
+    ("gapfill_batch_limit_inter", 0),
+    ("gapfill_suppression", -1.0),
+    ("child_reconcile_grace", -1.0),
+    ("parent_refresh_timeout", 0.0),
+    ("delay_opt_margin", 0),
+    ("info_jitter_frac", 1.0),
+    ("data_size_bits", 0),
+    ("control_size_bits", -5),
+])
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(ValueError):
+        dataclasses.replace(ProtocolConfig(), **{field: value})
+
+
+def test_jitter_must_be_less_than_period():
+    with pytest.raises(ValueError):
+        ProtocolConfig(attachment_period=1.0, attachment_jitter=1.0)
+
+
+def test_config_is_frozen():
+    cfg = ProtocolConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.attachment_period = 5.0  # type: ignore[misc]
+
+
+class TestScaled:
+    def test_scales_all_periods(self):
+        base = ProtocolConfig()
+        fast = base.scaled(0.5)
+        assert fast.attachment_period == base.attachment_period * 0.5
+        assert fast.info_intra_period == base.info_intra_period * 0.5
+        assert fast.info_inter_period == base.info_inter_period * 0.5
+        assert fast.gapfill_nonneighbor_period == base.gapfill_nonneighbor_period * 0.5
+        assert fast.parent_timeout_inter == base.parent_timeout_inter * 0.5
+
+    def test_does_not_scale_sizes_or_flags(self):
+        slow = ProtocolConfig().scaled(3.0)
+        assert slow.data_size_bits == ProtocolConfig().data_size_bits
+        assert slow.enable_delay_optimization
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig().scaled(0.0)
+
+
+class TestForScale:
+    def test_small_systems_keep_floor(self):
+        cfg = ProtocolConfig.for_scale(4)
+        assert cfg.info_inter_period == 6.0
+
+    def test_large_systems_stretch_inter_period(self):
+        small = ProtocolConfig.for_scale(10)
+        large = ProtocolConfig.for_scale(60)
+        assert large.info_inter_period > small.info_inter_period
+        assert large.parent_timeout_inter > large.info_inter_period
+
+    def test_overrides_win(self):
+        cfg = ProtocolConfig.for_scale(60, info_inter_period=2.0)
+        assert cfg.info_inter_period == 2.0
+
+    def test_rejects_nonpositive_hosts(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig.for_scale(0)

@@ -1,0 +1,107 @@
+"""Tests for transit-time cost inference (the paper's §2 alternative)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    BroadcastSystem,
+    CostBitMode,
+    ProtocolConfig,
+    TransitTimeClassifier,
+)
+from repro.net import HostId, wan_of_lans
+from repro.sim import Simulator
+
+
+class TestClassifier:
+    def test_first_observation_is_cheap_and_calibrates(self):
+        clf = TransitTimeClassifier()
+        assert clf.classify(0.01) is False
+        assert clf.cheap_baseline == pytest.approx(0.01)
+
+    def test_separates_arpanet_scale_populations(self):
+        clf = TransitTimeClassifier(spread_factor=5.0)
+        # LAN-class transits ~4ms, long-haul ~60-200ms.
+        assert clf.classify(0.004) is False
+        assert clf.classify(0.150) is True
+        assert clf.classify(0.0045) is False
+        assert clf.classify(0.062) is True
+
+    def test_expensive_only_traffic_then_cheap_corrects(self):
+        clf = TransitTimeClassifier(spread_factor=5.0)
+        assert clf.classify(0.100) is False  # calibrates (wrongly) high
+        assert clf.classify(0.110) is False  # within spread of baseline
+        assert clf.classify(0.004) is False  # cheap arrival re-calibrates
+        assert clf.classify(0.100) is True   # now correctly expensive
+
+    def test_baseline_decay_forgets_anomalous_minimum(self):
+        clf = TransitTimeClassifier(spread_factor=5.0, decay=1.5)
+        clf.classify(0.0001)  # anomalously fast one-off
+        for _ in range(20):
+            clf.classify(0.004)
+        assert clf.classify(0.004) is False  # decayed back to normal
+
+    def test_queueing_noise_on_cheap_path_tolerated(self):
+        clf = TransitTimeClassifier(spread_factor=5.0)
+        clf.classify(0.004)
+        assert clf.classify(0.012) is False  # 3x noise < spread factor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransitTimeClassifier(spread_factor=1.0)
+        with pytest.raises(ValueError):
+            TransitTimeClassifier(decay=0.9)
+        with pytest.raises(ValueError):
+            TransitTimeClassifier(initial_floor=0.0)
+        with pytest.raises(ValueError):
+            TransitTimeClassifier().classify(-0.1)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=0.01), min_size=1,
+                    max_size=50))
+    def test_pure_cheap_traffic_never_expensive(self, transits):
+        """Within a 10x band below the spread factor... use 4x band."""
+        clf = TransitTimeClassifier(spread_factor=11.0)
+        for t in transits:
+            assert clf.classify(t) is False
+
+    @given(st.lists(st.sampled_from([0.004, 0.005, 0.15, 0.2]), min_size=2,
+                    max_size=60))
+    def test_mixed_traffic_classified_by_population(self, transits):
+        clf = TransitTimeClassifier(spread_factor=5.0)
+        clf.classify(0.004)  # calibrate cheap
+        for t in transits:
+            assert clf.classify(t) == (t > 0.1)
+
+
+class TestTimestampModeEndToEnd:
+    def build(self, seed=0):
+        sim = Simulator(seed=seed)
+        built = wan_of_lans(sim, clusters=2, hosts_per_cluster=2,
+                            backbone="line")
+        config = ProtocolConfig(cost_bit_mode=CostBitMode.TIMESTAMP)
+        system = BroadcastSystem(built, config=config)
+        return sim, built, system
+
+    def test_clusters_learned_without_network_cost_bit(self):
+        sim, built, system = self.build()
+        system.start()
+        system.broadcast_stream(5, interval=1.0, start_at=2.0)
+        assert system.run_until_delivered(5, timeout=200.0)
+        sim.run(until=sim.now + 10.0)
+        h00 = system.hosts[HostId("h0.0")]
+        assert HostId("h0.1") in h00.cluster
+        assert HostId("h1.0") not in h00.cluster
+        h10 = system.hosts[HostId("h1.0")]
+        assert HostId("h1.1") in h10.cluster
+        assert HostId("h0.0") not in h10.cluster
+
+    def test_delivery_and_structure_with_inference(self):
+        from repro.verify import check_all, run_to_quiescence
+
+        sim, built, system = self.build(seed=3)
+        system.start()
+        system.broadcast_stream(10, interval=1.0, start_at=2.0)
+        assert system.run_until_delivered(10, timeout=300.0)
+        assert run_to_quiescence(system, stable_window=10.0, timeout=120.0)
+        assert check_all(system, quiescent=True) == []

@@ -1,0 +1,79 @@
+"""Unit tests for the delivery log."""
+
+import pytest
+
+from repro.core import DeliveryLog, DeliveryRecord
+from repro.net import HostId
+
+ME = HostId("me")
+SRC = HostId("src")
+
+
+def rec(seq, created=0.0, delivered=1.0, gapfill=False):
+    return DeliveryRecord(seq=seq, content=f"m{seq}", created_at=created,
+                          delivered_at=delivered, supplier=SRC,
+                          via_gapfill=gapfill)
+
+
+def test_record_and_query():
+    log = DeliveryLog(ME)
+    log.record(rec(1))
+    log.record(rec(2, delivered=3.0))
+    assert len(log) == 2
+    assert 1 in log
+    assert 3 not in log
+    assert log.get(2).delivered_at == 3.0
+    assert log.get(9) is None
+
+
+def test_duplicate_delivery_is_a_bug():
+    log = DeliveryLog(ME)
+    log.record(rec(1))
+    with pytest.raises(AssertionError):
+        log.record(rec(1))
+
+
+def test_records_sorted_by_seq():
+    log = DeliveryLog(ME)
+    log.record(rec(3))
+    log.record(rec(1))
+    assert [r.seq for r in log.records()] == [1, 3]
+
+
+def test_has_all():
+    log = DeliveryLog(ME)
+    for seq in (1, 2, 4):
+        log.record(rec(seq))
+    assert log.has_all(2)
+    assert not log.has_all(3)
+    assert log.has_all(0)
+
+
+def test_delay_and_delays():
+    log = DeliveryLog(ME)
+    log.record(rec(1, created=1.0, delivered=3.5))
+    assert log.get(1).delay == 2.5
+    assert log.delays() == [2.5]
+
+
+def test_callback_invoked():
+    seen = []
+    log = DeliveryLog(ME, callback=lambda owner, r: seen.append((owner, r.seq)))
+    log.record(rec(7))
+    assert seen == [(ME, 7)]
+
+
+def test_out_of_order_count():
+    log = DeliveryLog(ME)
+    log.record(rec(1, delivered=1.0))
+    log.record(rec(3, delivered=2.0))
+    log.record(rec(2, delivered=3.0))  # late: arrives after 3
+    log.record(rec(4, delivered=4.0))
+    assert log.out_of_order_count() == 1
+
+
+def test_out_of_order_count_in_order_is_zero():
+    log = DeliveryLog(ME)
+    for i in range(1, 5):
+        log.record(rec(i, delivered=float(i)))
+    assert log.out_of_order_count() == 0

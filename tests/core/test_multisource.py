@@ -1,0 +1,176 @@
+"""Tests for multiple-source broadcast (Section 2's prescription)."""
+
+import pytest
+
+from repro.core import (
+    MultiSourceBroadcastSystem,
+    PortMux,
+    ProtocolConfig,
+    TaggedPayload,
+)
+from repro.net import HostId, RawPayload, wan_of_lans
+from repro.sim import Simulator
+
+
+def build(k=2, m=2, sources=("h0.0", "h1.0"), seed=2, config=None):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m, backbone="line")
+    if config is None:
+        config = ProtocolConfig.for_scale(k * m)
+    system = MultiSourceBroadcastSystem(
+        built, sources=[HostId(s) for s in sources], config=config)
+    return sim, built, system
+
+
+class TestConstruction:
+    def test_requires_sources(self):
+        sim = Simulator(seed=0)
+        built = wan_of_lans(sim, 2, 1)
+        with pytest.raises(ValueError):
+            MultiSourceBroadcastSystem(built, sources=[])
+
+    def test_rejects_duplicate_sources(self):
+        sim = Simulator(seed=0)
+        built = wan_of_lans(sim, 2, 1)
+        with pytest.raises(ValueError):
+            MultiSourceBroadcastSystem(
+                built, sources=[HostId("h0.0"), HostId("h0.0")])
+
+    def test_rejects_unknown_source(self):
+        sim = Simulator(seed=0)
+        built = wan_of_lans(sim, 2, 1)
+        with pytest.raises(ValueError):
+            MultiSourceBroadcastSystem(built, sources=[HostId("ghost")])
+
+    def test_one_instance_per_source(self):
+        _, _, system = build()
+        assert set(system.instances) == {HostId("h0.0"), HostId("h1.0")}
+        # Each instance is rooted at its own source.
+        for source, instance in system.instances.items():
+            assert instance.source_id == source
+
+
+class TestDelivery:
+    def test_both_streams_delivered_everywhere(self):
+        sim, built, system = build()
+        system.start()
+        a, b = HostId("h0.0"), HostId("h1.0")
+        system.broadcast_stream(a, 5, interval=1.0, start_at=2.0)
+        system.broadcast_stream(b, 5, interval=1.0, start_at=2.5)
+        assert system.run_until_delivered({a: 5, b: 5}, timeout=300.0)
+
+    def test_streams_are_independent(self):
+        """Sequence numbers are per-source; instances do not interfere."""
+        sim, built, system = build()
+        system.start()
+        a, b = HostId("h0.0"), HostId("h1.0")
+        assert system.broadcast(a, "a1") == 1
+        assert system.broadcast(b, "b1") == 1  # b's own numbering
+        assert system.broadcast(a, "a2") == 2
+        assert system.run_until_delivered({a: 2, b: 1}, timeout=200.0)
+        # Every host holds both streams, with the right contents.
+        for host_id in built.hosts:
+            a_log = system.instances[a].hosts[host_id].deliveries
+            b_log = system.instances[b].hosts[host_id].deliveries
+            assert a_log.get(1).content == "a1"
+            assert a_log.get(2).content == "a2"
+            assert b_log.get(1).content == "b1"
+
+    def test_instances_build_independent_trees(self):
+        sim, built, system = build()
+        system.start()
+        a, b = HostId("h0.0"), HostId("h1.0")
+        system.broadcast_stream(a, 3, interval=0.5, start_at=2.0)
+        system.broadcast_stream(b, 3, interval=0.5, start_at=2.0)
+        assert system.run_until_delivered({a: 3, b: 3}, timeout=200.0)
+        sim.run(until=sim.now + 30.0)
+        parents_a = system.instances[a].parent_edges()
+        parents_b = system.instances[b].parent_edges()
+        # Each tree is rooted at its own source.
+        assert parents_a[a] is None
+        assert parents_b[b] is None
+        assert parents_a[b] is not None
+        assert parents_b[a] is not None
+
+    def test_survives_partition(self):
+        from repro.scenarios import midstream_partition
+
+        sim, built, system = build(seed=5)
+        midstream_partition(built, cluster_index=1, start=5.0, end=25.0)
+        system.start()
+        a, b = HostId("h0.0"), HostId("h1.0")
+        system.broadcast_stream(a, 10, interval=1.0, start_at=2.0)
+        system.broadcast_stream(b, 10, interval=1.0, start_at=2.0)
+        assert system.run_until_delivered({a: 10, b: 10}, timeout=400.0)
+
+
+class TestDeliveryCallback:
+    def test_callback_identifies_the_stream_source(self):
+        seen = []
+        sim = Simulator(seed=2)
+        built = wan_of_lans(sim, clusters=2, hosts_per_cluster=2,
+                            backbone="line")
+        sources = [HostId("h0.0"), HostId("h1.0")]
+        system = MultiSourceBroadcastSystem(
+            built, sources=sources,
+            config=ProtocolConfig.for_scale(4),
+            deliver_callback=lambda src, host, record:
+                seen.append((src, host, record.seq))).start()
+        system.broadcast_stream(sources[0], 2, interval=0.5, start_at=2.0)
+        system.broadcast_stream(sources[1], 2, interval=0.5, start_at=2.0)
+        assert system.run_until_delivered({s: 2 for s in sources},
+                                          timeout=200.0)
+        by_stream = {src: {(h, s) for x, h, s in seen if x == src}
+                     for src in sources}
+        for src in sources:
+            # every host delivered seq 1 and 2 of this stream
+            for host in built.hosts:
+                assert (host, 1) in by_stream[src]
+                assert (host, 2) in by_stream[src]
+
+
+class TestMux:
+    def test_duplicate_instance_registration_rejected(self):
+        sim = Simulator(seed=0)
+        built = wan_of_lans(sim, 2, 1)
+        mux = PortMux(built.network.host_port(HostId("h0.0")))
+        mux.port_for("x")
+        with pytest.raises(ValueError):
+            mux.port_for("x")
+
+    def test_untagged_packets_ignored(self):
+        sim = Simulator(seed=0)
+        built = wan_of_lans(sim, 2, 1, convergence_delay=0.0)
+        mux = PortMux(built.network.host_port(HostId("h0.0")))
+        got = []
+        mux.port_for("x").set_receiver(got.append)
+        built.network.host_port(HostId("h1.0")).send(HostId("h0.0"),
+                                                     RawPayload("plain"))
+        sim.run()
+        assert got == []
+        assert sim.trace.count("mux.untagged") == 1
+
+    def test_unknown_instance_dropped(self):
+        sim = Simulator(seed=0)
+        built = wan_of_lans(sim, 2, 1, convergence_delay=0.0)
+        PortMux(built.network.host_port(HostId("h0.0")))
+        built.network.host_port(HostId("h1.0")).send(
+            HostId("h0.0"), TaggedPayload("nobody", RawPayload()))
+        sim.run()
+        assert sim.trace.count("mux.unknown_instance") == 1
+
+    def test_tag_preserves_kind_and_size(self):
+        tagged = TaggedPayload("x", RawPayload(size_bits=1234))
+        assert tagged.kind == "raw"
+        assert tagged.size_bits == 1234
+
+    def test_cost_bit_passes_through_mux(self):
+        sim, built, system = build()
+        system.start()
+        sim.run(until=20.0)
+        a = HostId("h0.0")
+        instance = system.instances[a]
+        h00 = instance.hosts[a]
+        # Cluster learning still works through the mux (cost bits intact).
+        assert HostId("h0.1") in h00.cluster
+        assert HostId("h1.0") not in h00.cluster

@@ -1,0 +1,132 @@
+"""Property-based tests: SeqnoSet vs a model built on Python's set."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.seqnoset import SeqnoSet, info_equiv, info_less
+
+seqnos = st.integers(min_value=1, max_value=60)
+seqno_lists = st.lists(seqnos, max_size=40)
+ranges_strategy = st.tuples(seqnos, seqnos).map(lambda t: (min(t), max(t)))
+
+
+@given(seqno_lists)
+def test_membership_matches_model(items):
+    model = set(items)
+    s = SeqnoSet(items)
+    assert list(s) == sorted(model)
+    assert len(s) == len(model)
+    for x in range(0, 65):
+        assert (x in s) == (x in model)
+
+
+@given(seqno_lists)
+def test_ranges_are_sorted_disjoint_nonadjacent(items):
+    s = SeqnoSet(items)
+    ranges = s.ranges()
+    for lo, hi in ranges:
+        assert lo <= hi
+    for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+        assert hi1 + 1 < lo2  # disjoint and non-adjacent (coalesced)
+
+
+@given(seqno_lists, st.lists(ranges_strategy, max_size=10))
+def test_add_range_matches_model(items, extra_ranges):
+    model = set(items)
+    s = SeqnoSet(items)
+    for lo, hi in extra_ranges:
+        added = s.add_range(lo, hi)
+        new = set(range(lo, hi + 1)) - model
+        assert added == bool(new)
+        model |= set(range(lo, hi + 1))
+    assert list(s) == sorted(model)
+
+
+@given(seqno_lists, seqno_lists)
+def test_update_is_union(a_items, b_items):
+    a = SeqnoSet(a_items)
+    b = SeqnoSet(b_items)
+    changed = a.update(b)
+    assert changed == bool(set(b_items) - set(a_items))
+    assert list(a) == sorted(set(a_items) | set(b_items))
+
+
+@given(seqno_lists, seqno_lists)
+def test_difference_matches_model(a_items, b_items):
+    a = SeqnoSet(a_items)
+    b = SeqnoSet(b_items)
+    assert a.difference(b) == sorted(set(a_items) - set(b_items))
+
+
+@given(seqno_lists, st.integers(min_value=1, max_value=70))
+def test_missing_below_matches_model(items, limit):
+    s = SeqnoSet(items)
+    expected = [x for x in range(1, limit) if x not in set(items)]
+    assert s.missing_below(limit) == expected
+
+
+@given(seqno_lists)
+def test_max_matches_model(items):
+    s = SeqnoSet(items)
+    assert s.max_seqno == (max(items) if items else 0)
+
+
+@given(seqno_lists, seqno_lists)
+def test_partial_order_matches_max_comparison(a_items, b_items):
+    a, b = SeqnoSet(a_items), SeqnoSet(b_items)
+    ma = max(a_items) if a_items else 0
+    mb = max(b_items) if b_items else 0
+    assert info_less(a, b) == (ma < mb)
+    assert info_equiv(a, b) == (ma == mb)
+
+
+@given(st.integers(min_value=1, max_value=40), seqno_lists)
+def test_prune_preserves_membership(n, extra):
+    s = SeqnoSet.range(1, n)
+    for x in extra:
+        s.add(x)
+    model = set(range(1, n + 1)) | set(extra)
+    s.prune_through(n)
+    assert list(s) == sorted(model)
+    for x in range(0, 70):
+        assert (x in s) == (x in model)
+
+
+@given(seqno_lists, st.lists(seqnos, max_size=20))
+def test_adds_after_prune_match_model(base, later):
+    s = SeqnoSet(base)
+    model = set(base)
+    prefix = 0
+    while prefix + 1 in model:
+        prefix += 1
+    if prefix:
+        s.prune_through(prefix)
+    for x in later:
+        assert s.add(x) == (x not in model)
+        model.add(x)
+    assert list(s) == sorted(model)
+
+
+@given(seqno_lists, seqno_lists)
+def test_issuperset_matches_model(a_items, b_items):
+    a, b = SeqnoSet(a_items), SeqnoSet(b_items)
+    assert a.issuperset(b) == set(a_items).issuperset(set(b_items))
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.sampled_from(["add", "range", "update"]),
+                          ranges_strategy), max_size=30))
+def test_random_operation_sequences(ops):
+    s = SeqnoSet()
+    model = set()
+    for op, (lo, hi) in ops:
+        if op == "add":
+            s.add(lo)
+            model.add(lo)
+        elif op == "range":
+            s.add_range(lo, hi)
+            model |= set(range(lo, hi + 1))
+        else:
+            s.update(SeqnoSet.range(lo, hi))
+            model |= set(range(lo, hi + 1))
+    assert list(s) == sorted(model)

@@ -1,0 +1,44 @@
+"""Tests for the experiments CLI."""
+
+from repro.experiments.cli import main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "E1" in out
+    assert "E12" in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["E99"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_runs_selected_experiment(capsys):
+    assert main(["E9"]) == 0
+    out = capsys.readouterr().out
+    assert "E9:" in out
+    assert "finished in" in out
+
+
+def test_seed_override(capsys):
+    assert main(["E9", "--seed", "123"]) == 0
+    assert "E9:" in capsys.readouterr().out
+
+
+def test_markdown_output(capsys):
+    assert main(["E9", "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert "### E9:" in out
+    assert "| host | before |" in out
+
+
+def test_json_output(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "results.json"
+    assert main(["E9", "--json", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data[0]["experiment_id"] == "E9"
+    assert data[0]["rows"][0]["after"] == "[1, 2, 3]"

@@ -1,0 +1,160 @@
+"""Tests for the experiment harness (small, fast parameterizations).
+
+These assert the *shape* of every experiment's outcome — the qualitative
+claims from the paper's Section 5 — using reduced parameters so the
+whole module runs in seconds.  The benchmarks run the full versions.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    run_e1_cost,
+    run_e2_delay,
+    run_e3_recovery,
+    run_e4_partition,
+    run_e5_congestion,
+    run_e6_control,
+    run_e6_tuning,
+    run_e7_tradeoff,
+    run_e8_fig31,
+    run_e9_fig41,
+    run_e10_ablation,
+    run_e11_fig32,
+    run_e12_epidemic,
+)
+from repro.scenarios import WindowSpec
+
+
+class TestExperimentResult:
+    def test_row_validation(self):
+        result = ExperimentResult("X", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            result.add_row(a=1)
+        result.add_row(a=1, b=2)
+        assert "X: t" in result.render()
+
+    def test_notes_rendered(self):
+        result = ExperimentResult("X", "t", ["a"])
+        result.add_row(a=1)
+        result.note("hello")
+        assert "note: hello" in result.render()
+
+
+def rows_by(result, **filters):
+    return [r for r in result.rows
+            if all(r[k] == v for k, v in filters.items())]
+
+
+def test_e1_tree_near_optimal_and_beats_basic():
+    result = run_e1_cost(ks=(2, 3), ms=(1, 3), n=10, warmup=3)
+    for row in result.rows:
+        assert row["tree"] <= row["optimal"] * 1.6 + 0.5
+        if row["hosts_per_cluster"] >= 3:
+            assert row["basic"] > row["tree"]
+
+
+def test_e2_delays_comparable():
+    result = run_e2_delay(ks=(2,), ms=(2,), n=10, warmup=3)
+    (row,) = result.rows
+    assert row["tree_mean"] < 1.0
+    assert row["basic_mean"] < 1.0
+
+
+def test_e3_tree_recovers_locally_basic_from_source():
+    result = run_e3_recovery(losses=(0.1,), n=15)
+    (tree_row,) = rows_by(result, protocol="tree")
+    (basic_row,) = rows_by(result, protocol="basic")
+    assert tree_row["delivered"] == 1.0
+    assert basic_row["delivered"] == 1.0
+    assert basic_row["from_source_fraction"] == 1.0
+    assert tree_row["local_fraction"] > 0.3
+    assert tree_row["from_source_fraction"] < 1.0
+
+
+def test_e4_basic_wastes_more_during_partition():
+    result = run_e4_partition(n=20, partition=(8.0, 30.0))
+    (tree_row,) = rows_by(result, protocol="tree")
+    (basic_row,) = rows_by(result, protocol="basic")
+    assert basic_row["sends_toward_partitioned_per_s"] > \
+        2 * tree_row["sends_toward_partitioned_per_s"]
+    assert tree_row["delivered_all"]
+    assert basic_row["delivered_all"]
+
+
+def test_e5_basic_concentrates_load_at_source():
+    result = run_e5_congestion(ms=(4,), n=10)
+    (tree_row,) = rows_by(result, protocol="tree")
+    (basic_row,) = rows_by(result, protocol="basic")
+    assert basic_row["concentration"] > 3 * tree_row["concentration"]
+
+
+def test_e6_tree_control_independent_of_stream_length():
+    result = run_e6_control(stream_sizes=(0, 100), horizon=60.0)
+    tree_rows = rows_by(result, protocol="tree")
+    assert len(tree_rows) == 2
+    ratio = tree_rows[1]["control_sent"] / tree_rows[0]["control_sent"]
+    assert 0.9 <= ratio <= 1.1  # independent of data count
+    basic_rows = rows_by(result, protocol="basic")
+    assert basic_rows[0]["control_sent"] == 0
+    assert basic_rows[1]["control_sent"] > 0  # acks scale with data
+
+
+def test_e6b_control_scales_inversely_with_period():
+    result = run_e6_tuning(factors=(1.0, 2.0), horizon=60.0)
+    fast, slow = result.rows
+    assert fast["control_sent"] > 1.5 * slow["control_sent"]
+
+
+def test_e7_faster_exchange_more_reliable_more_costly():
+    result = run_e7_tradeoff(
+        factors=(0.5, 4.0), horizon=100.0, n=5, trials=3,
+        window=WindowSpec(period=30.0, width=4.0, first_open=20.0))
+    fast, slow = result.rows
+    assert fast["delivered_fraction"] >= slow["delivered_fraction"]
+    assert fast["control_sent"] > slow["control_sent"]
+
+
+def test_e8_matches_figure_3_1_exactly():
+    result = run_e8_fig31(n=10, warmup=3)
+    by_scheme = {r["scheme"]: r["link_traversals_per_msg"] for r in result.rows}
+    assert by_scheme["server multicast (lower bound)"] == 6.0
+    assert by_scheme["tree"] == pytest.approx(8.0, abs=1.0)
+    assert by_scheme["basic"] == pytest.approx(8.0, abs=0.5)
+
+
+def test_e9_non_neighbor_gapfill_converges():
+    result = run_e9_fig41()
+    for row in result.rows:
+        assert row["after"] == "[1, 2, 3]"
+        assert row["reattached"] is False
+    suppliers = {r["host"]: r["gap_supplier"] for r in result.rows}
+    assert suppliers == {"i": "j", "j": "i"}
+
+
+def test_e10_singleton_mode_works_but_costs_more():
+    result = run_e10_ablation(n=15, churn=False)
+    by_variant = {r["variant"]: r for r in result.rows}
+    dynamic = by_variant["dynamic clusters (paper)"]
+    singleton = by_variant["no cluster info (singletons)"]
+    assert dynamic["delivered"] == 1.0
+    assert singleton["delivered"] == 1.0
+    assert singleton["inter_cluster_per_msg"] > dynamic["inter_cluster_per_msg"]
+
+
+def test_e11_invariants_hold_on_figure_3_2():
+    result = run_e11_fig32(n=5)
+    assert all(row["violations"] == 0 for row in result.rows)
+
+
+def test_e12_tree_cheapest_on_inter_cluster_traffic():
+    result = run_e12_epidemic(n=10, warmup=3)
+    by_protocol = {r["protocol"]: r for r in result.rows}
+    assert by_protocol["tree"]["inter_cluster_per_msg"] < \
+        by_protocol["basic"]["inter_cluster_per_msg"]
+    assert by_protocol["tree"]["inter_cluster_per_msg"] < \
+        by_protocol["epidemic"]["inter_cluster_per_msg"]
+    for row in result.rows:
+        assert row["delivered"] == 1.0

@@ -1,0 +1,88 @@
+"""Tests for workload generators and the sweep helper."""
+
+import pytest
+
+from repro.core import BroadcastSystem
+from repro.experiments import bursty_stream, constant_rate_stream, poisson_stream
+from repro.experiments.sweep import grid, sweep
+from repro.net import wan_of_lans
+from repro.sim import Simulator
+
+
+def build_system(seed=0):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=1, hosts_per_cluster=2)
+    system = BroadcastSystem(built).start()
+    return sim, system
+
+
+class TestWorkloads:
+    def test_constant_rate_times(self):
+        sim, system = build_system()
+        constant_rate_stream(sim, system.source, count=3, interval=2.0,
+                             start_at=1.0)
+        sim.run(until=10.0)
+        times = [r.time for r in sim.trace.records(kind="source.broadcast")]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_constant_rate_validates(self):
+        sim, system = build_system()
+        with pytest.raises(ValueError):
+            constant_rate_stream(sim, system.source, count=1, interval=0.0)
+
+    def test_poisson_stream_deterministic_and_ordered(self):
+        def run(seed):
+            sim, system = build_system(seed=seed)
+            poisson_stream(sim, system.source, count=10, rate=1.0, start_at=1.0)
+            sim.run(until=100.0)
+            return [r.time for r in sim.trace.records(kind="source.broadcast")]
+
+        times = run(5)
+        assert len(times) == 10
+        assert times == sorted(times)
+        assert run(5) == times
+        assert run(6) != times
+
+    def test_poisson_validates(self):
+        sim, system = build_system()
+        with pytest.raises(ValueError):
+            poisson_stream(sim, system.source, count=5, rate=0.0)
+
+    def test_bursty_stream_counts_and_shape(self):
+        sim, system = build_system()
+        total = bursty_stream(sim, system.source, bursts=3, burst_size=4,
+                              burst_gap=10.0, start_at=1.0)
+        assert total == 12
+        sim.run(until=60.0)
+        times = [r.time for r in sim.trace.records(kind="source.broadcast")]
+        assert len(times) == 12
+        # Bursts are tight; gaps are wide.
+        assert times[3] - times[0] < 0.5
+        assert times[4] - times[3] > 5.0
+
+    def test_bursty_validates(self):
+        sim, system = build_system()
+        with pytest.raises(ValueError):
+            bursty_stream(sim, system.source, bursts=1, burst_size=0,
+                          burst_gap=1.0)
+
+
+class TestSweep:
+    def test_grid_cartesian_deterministic(self):
+        points = list(grid(a=[1, 2], b=["x", "y"]))
+        assert points == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+        ]
+
+    def test_grid_empty(self):
+        assert list(grid()) == []
+
+    def test_sweep_merges_measurements(self):
+        rows = sweep(lambda a: {"double": a * 2}, a=[1, 2, 3])
+        assert rows == [{"a": 1, "double": 2}, {"a": 2, "double": 4},
+                        {"a": 3, "double": 6}]
+
+    def test_sweep_rejects_key_collisions(self):
+        with pytest.raises(ValueError):
+            sweep(lambda a: {"a": 1}, a=[1])

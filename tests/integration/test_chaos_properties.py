@@ -1,0 +1,90 @@
+"""Property-based chaos testing: eventual delivery under random failures.
+
+Hypothesis generates failure schedules (random backbone/access-link
+outages that all heal before a horizon) and random loss/duplication
+rates; the protocol must always deliver the full stream once the
+network stays connected.  This is the paper's core reliability claim
+("eventually deliver all messages to all destinations") exercised over
+a whole space of adversarial-but-fair runs.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BroadcastSystem, ProtocolConfig
+from repro.net import FailureSchedule, cheap_spec, expensive_spec, wan_of_lans
+from repro.sim import Simulator
+
+#: random outages: (backbone link index, start, duration)
+outage_strategy = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.floats(min_value=5.0, max_value=35.0),
+    st.floats(min_value=1.0, max_value=10.0),
+)
+
+CHAOS_SETTINGS = settings(max_examples=12, deadline=None)
+
+
+@CHAOS_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       outages=st.lists(outage_strategy, max_size=4))
+def test_eventual_delivery_despite_backbone_outages(seed, outages):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=3, hosts_per_cluster=2, backbone="ring")
+    schedule = FailureSchedule(sim, built.network)
+    for link_index, start, duration in outages:
+        a, b = built.backbone[link_index % len(built.backbone)]
+        # Overlapping windows on the same link would double-toggle; give
+        # each outage its own idempotent down/up pair.
+        schedule.down(start, a, b)
+        schedule.up(start + duration, a, b)
+    system = BroadcastSystem(built, config=ProtocolConfig.for_scale(6)).start()
+    system.broadcast_stream(10, interval=1.0, start_at=2.0)
+    assert system.run_until_delivered(10, timeout=400.0), {
+        "seed": seed, "outages": outages,
+        "missing": {str(h): host.info.gaps() or host.info.max_seqno
+                    for h, host in system.hosts.items()
+                    if not host.deliveries.has_all(10)},
+    }
+
+
+@CHAOS_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       loss=st.floats(min_value=0.0, max_value=0.15),
+       dup=st.floats(min_value=0.0, max_value=0.05))
+def test_eventual_delivery_under_random_loss_and_duplication(seed, loss, dup):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(
+        sim, clusters=2, hosts_per_cluster=2, backbone="line",
+        cheap=cheap_spec(loss_prob=loss, dup_prob=dup),
+        expensive=expensive_spec(loss_prob=loss, dup_prob=dup))
+    system = BroadcastSystem(built, config=ProtocolConfig.for_scale(4)).start()
+    system.broadcast_stream(8, interval=1.0, start_at=2.0)
+    assert system.run_until_delivered(8, timeout=500.0)
+    # Exactly-once delivery at every host, whatever the duplication.
+    for records in system.delivery_records().values():
+        seqs = [r.seq for r in records]
+        assert len(seqs) == len(set(seqs))
+
+
+@CHAOS_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       crash_at=st.floats(min_value=4.0, max_value=12.0),
+       heal_after=st.floats(min_value=5.0, max_value=20.0))
+def test_host_crash_model_recovers(seed, crash_at, heal_after):
+    """Failing any host's access link (the paper's host-crash model) and
+    repairing it later never prevents full delivery."""
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=2, hosts_per_cluster=2, backbone="line")
+    victim = built.hosts[seed % len(built.hosts)]
+    if victim == built.source:
+        victim = built.hosts[1]
+    server = built.network.server_of(victim)
+    schedule = FailureSchedule(sim, built.network)
+    schedule.down(crash_at, str(victim), server)
+    schedule.up(crash_at + heal_after, str(victim), server)
+    system = BroadcastSystem(built, config=ProtocolConfig.for_scale(4)).start()
+    system.broadcast_stream(8, interval=1.0, start_at=2.0)
+    assert system.run_until_delivered(8, timeout=400.0)

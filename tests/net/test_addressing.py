@@ -1,0 +1,25 @@
+"""Unit tests for identifiers."""
+
+from repro.net import HostId, LinkId, ServerId, host_id, server_id
+
+
+def test_host_and_server_ids_are_distinct_types():
+    assert host_id("x") == HostId("x")
+    assert server_id("x") == ServerId("x")
+    assert host_id("x") != server_id("x")
+
+
+def test_ids_are_hashable_and_ordered():
+    ids = sorted([host_id("b"), host_id("a"), host_id("c")])
+    assert [i.name for i in ids] == ["a", "b", "c"]
+    assert len({host_id("a"), host_id("a")}) == 1
+
+
+def test_link_id_normalizes_endpoint_order():
+    assert LinkId.of("s2", "s1") == LinkId.of("s1", "s2")
+    assert str(LinkId.of("b", "a")) == "a<->b"
+
+
+def test_str_forms():
+    assert str(host_id("h1")) == "h1"
+    assert str(server_id("s1")) == "s1"

@@ -1,0 +1,102 @@
+"""Tests for the distance-vector routing engine."""
+
+from repro.net import DistanceVectorEngine, HostId, Network, RawPayload, cheap_spec
+from repro.sim import Simulator
+
+
+def build_line(n, period=0.5, max_age=3.0):
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    for i in range(n):
+        network.add_server(f"s{i}")
+    for i in range(1, n):
+        network.connect(f"s{i-1}", f"s{i}", cheap_spec(latency=0.01))
+    engine = DistanceVectorEngine(sim, network, period=period, max_age=max_age)
+    network.use_routing(engine)
+    return sim, network, engine
+
+
+def test_converges_to_shortest_paths():
+    sim, network, engine = build_line(5)
+    sim.run(until=5.0)  # several exchange rounds
+    assert engine.next_hop("s0", "s4") == "s1"
+    assert engine.next_hop("s4", "s0") == "s3"
+    assert engine.next_hop("s2", "s2") == "s2" or engine.next_hop("s2", "s2") is None
+
+
+def test_no_route_before_convergence():
+    sim, network, engine = build_line(5, period=1.0)
+    # Before any exchange round only self-routes exist.
+    assert engine.next_hop("s0", "s4") is None
+
+
+def test_routes_age_out_after_failure():
+    sim, network, engine = build_line(3, period=0.5, max_age=2.0)
+    sim.run(until=5.0)
+    assert engine.next_hop("s0", "s2") == "s1"
+    network.set_link_state("s1", "s2", up=False)
+    sim.run(until=15.0)
+    assert engine.next_hop("s0", "s2") is None
+
+
+def test_routes_relearned_after_repair():
+    sim, network, engine = build_line(3, period=0.5, max_age=2.0)
+    sim.run(until=5.0)
+    network.set_link_state("s1", "s2", up=False)
+    sim.run(until=15.0)
+    network.set_link_state("s1", "s2", up=True)
+    sim.run(until=25.0)
+    assert engine.next_hop("s0", "s2") == "s1"
+
+
+def test_reroutes_around_failure_with_alternate_path():
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    for name in ["a", "b", "c"]:
+        network.add_server(name)
+    network.connect("a", "b", cheap_spec(latency=0.01))
+    network.connect("b", "c", cheap_spec(latency=0.01))
+    network.connect("a", "c", cheap_spec(latency=0.10))
+    engine = DistanceVectorEngine(sim, network, period=0.5, max_age=2.0)
+    network.use_routing(engine)
+    sim.run(until=5.0)
+    assert engine.next_hop("a", "c") == "b"
+    network.set_link_state("b", "c", up=False)
+    sim.run(until=20.0)
+    assert engine.next_hop("a", "c") == "c"
+
+
+def test_end_to_end_delivery_with_distvec():
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    for i in range(3):
+        network.add_server(f"s{i}")
+    network.connect("s0", "s1", cheap_spec())
+    network.connect("s1", "s2", cheap_spec())
+    a, b = HostId("a"), HostId("b")
+    network.add_host(a, "s0")
+    network.add_host(b, "s2")
+    engine = DistanceVectorEngine(sim, network, period=0.2)
+    network.use_routing(engine)
+    got = []
+    network.host_port(b).set_receiver(got.append)
+    sim.schedule(3.0, lambda: network.host_port(a).send(b, RawPayload()))
+    sim.run(until=5.0)
+    assert len(got) == 1
+
+
+def test_stop_halts_exchange():
+    sim, network, engine = build_line(3)
+    sim.run(until=2.0)
+    engine.stop()
+    rounds = sim.trace.count("routing.distvec_round")
+    sim.run(until=10.0)
+    assert sim.trace.count("routing.distvec_round") == rounds
+
+
+def test_table_view_is_copy():
+    sim, network, engine = build_line(2)
+    sim.run(until=3.0)
+    table = engine.table("s0")
+    table.clear()
+    assert engine.next_hop("s0", "s1") == "s1"

@@ -1,0 +1,114 @@
+"""Tests for failure schedules, flappers, and partition scheduling."""
+
+import pytest
+
+from repro.net import (
+    FailureSchedule,
+    HostId,
+    LinkFlapper,
+    PartitionScheduler,
+    cut_links_between,
+    host_group,
+    wan_of_lans,
+)
+from repro.sim import Simulator
+
+
+def build(k=3, m=2, backbone="line"):
+    sim = Simulator(seed=1)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m, backbone=backbone,
+                        convergence_delay=0.0)
+    return sim, built
+
+
+def test_schedule_applies_changes_at_times():
+    sim, built = build(k=2, m=1)
+    network = built.network
+    schedule = FailureSchedule(sim, network)
+    schedule.outage(5.0, 10.0, "s0", "s1")
+    assert network.link("s0", "s1").up
+    sim.run(until=6.0)
+    assert not network.link("s0", "s1").up
+    sim.run(until=11.0)
+    assert network.link("s0", "s1").up
+
+
+def test_outage_validates_interval():
+    sim, built = build(k=2, m=1)
+    with pytest.raises(ValueError):
+        FailureSchedule(sim, built.network).outage(5.0, 5.0, "s0", "s1")
+
+
+def test_cut_links_between_finds_crossing_links():
+    sim, built = build(k=3, m=1, backbone="line")
+    cut = cut_links_between(built.network, ["s0", "h0.0"], ["s1", "s2", "h1.0", "h2.0"])
+    assert cut == [("s0", "s1")]
+
+
+def test_partition_scheduler_isolates_and_heals():
+    sim, built = build(k=3, m=2, backbone="line")
+    network = built.network
+    scheduler = PartitionScheduler(sim, network)
+    group = host_group(network, built.clusters[0])
+    cut = scheduler.isolate(group, start=2.0, end=8.0)
+    assert cut == [("s0", "s1")]
+    sim.run(until=3.0)
+    assert len(network.partitions()) == 2
+    sim.run(until=9.0)
+    assert len(network.partitions()) == 1
+
+
+def test_partition_into_three_groups():
+    sim, built = build(k=3, m=1, backbone="mesh")
+    network = built.network
+    scheduler = PartitionScheduler(sim, network)
+    groups = [host_group(network, [h]) for h in built.hosts]
+    cut = scheduler.partition(groups, start=1.0, end=5.0)
+    assert len(cut) == 3  # mesh of 3 clusters
+    sim.run(until=2.0)
+    assert len(network.partitions()) == 3
+    sim.run(until=6.0)
+    assert len(network.partitions()) == 1
+
+
+def test_host_group_includes_server():
+    sim, built = build(k=2, m=2)
+    group = host_group(built.network, [HostId("h0.0"), HostId("h0.1")])
+    assert group == ["h0.0", "h0.1", "s0"]
+
+
+def test_flapper_produces_transitions_and_is_deterministic():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        built = wan_of_lans(sim, 2, 1, backbone="line", convergence_delay=0.0)
+        flapper = LinkFlapper(sim, built.network, [("s0", "s1")],
+                              mean_up=5.0, mean_down=1.0)
+        flapper.start()
+        sim.run(until=100.0)
+        downs = built.network.sim.trace.count("link.down")
+        ups = built.network.sim.trace.count("link.up")
+        return downs, ups
+
+    downs, ups = run(3)
+    assert downs > 5
+    assert abs(downs - ups) <= 1
+    assert run(3) == (downs, ups)
+
+
+def test_flapper_stop_halts_transitions():
+    sim = Simulator(seed=4)
+    built = wan_of_lans(sim, 2, 1, backbone="line", convergence_delay=0.0)
+    flapper = LinkFlapper(sim, built.network, [("s0", "s1")],
+                          mean_up=1.0, mean_down=1.0).start()
+    sim.run(until=10.0)
+    flapper.stop()
+    count_at_stop = sim.trace.count("link.down")
+    sim.run(until=100.0)
+    assert sim.trace.count("link.down") == count_at_stop
+
+
+def test_flapper_validates_means():
+    sim = Simulator()
+    built = wan_of_lans(sim, 2, 1, convergence_delay=0.0)
+    with pytest.raises(ValueError):
+        LinkFlapper(sim, built.network, [("s0", "s1")], mean_up=0.0)

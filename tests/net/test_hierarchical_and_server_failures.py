@@ -1,0 +1,191 @@
+"""Tests for multi-server clusters and whole-server failures."""
+
+import pytest
+
+from repro.core import BroadcastSystem, ProtocolConfig
+from repro.net import HostId, RawPayload, hierarchical_wan
+from repro.sim import Simulator
+
+
+class TestHierarchicalWan:
+    def test_shape(self):
+        sim = Simulator(seed=0)
+        built = hierarchical_wan(sim, clusters=2, servers_per_cluster=3,
+                                 hosts_per_server=2, backbone="line",
+                                 convergence_delay=0.0)
+        assert len(built.hosts) == 12
+        assert len(built.network.servers) == 6
+        # Cheap ring inside each cluster + 1 expensive trunk.
+        clusters = built.network.true_clusters()
+        assert len(clusters) == 2
+        assert all(len(c) == 6 for c in clusters)
+
+    def test_two_server_cluster_single_link(self):
+        sim = Simulator(seed=0)
+        built = hierarchical_wan(sim, clusters=1, servers_per_cluster=2,
+                                 hosts_per_server=1, convergence_delay=0.0)
+        # One intra link + two access links.
+        assert len(built.network.links) == 3
+
+    def test_multi_hop_cheap_path_keeps_cost_bit_clear(self):
+        sim = Simulator(seed=0)
+        built = hierarchical_wan(sim, clusters=1, servers_per_cluster=4,
+                                 hosts_per_server=1, convergence_delay=0.0)
+        got = []
+        src, dst = HostId("h0.0.0"), HostId("h0.2.0")
+        built.network.host_port(dst).set_receiver(got.append)
+        built.network.host_port(src).send(dst, RawPayload())
+        sim.run()
+        (packet,) = got
+        assert len(packet.hops) >= 4  # multi-hop
+        assert packet.cost_bit is False
+
+    def test_cross_cluster_sets_cost_bit(self):
+        sim = Simulator(seed=0)
+        built = hierarchical_wan(sim, clusters=2, servers_per_cluster=2,
+                                 hosts_per_server=1, convergence_delay=0.0)
+        got = []
+        src, dst = HostId("h0.1.0"), HostId("h1.1.0")
+        built.network.host_port(dst).set_receiver(got.append)
+        built.network.host_port(src).send(dst, RawPayload())
+        sim.run()
+        assert got[0].cost_bit is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hierarchical_wan(Simulator(), 0, 1, 1)
+        with pytest.raises(ValueError):
+            hierarchical_wan(Simulator(), 1, 1, 1, backbone="donut")
+
+    def test_protocol_converges_over_hierarchical_clusters(self):
+        sim = Simulator(seed=5)
+        built = hierarchical_wan(sim, clusters=2, servers_per_cluster=3,
+                                 hosts_per_server=1, backbone="line")
+        system = BroadcastSystem(built,
+                                 config=ProtocolConfig.for_scale(6)).start()
+        system.broadcast_stream(10, interval=1.0, start_at=2.0)
+        assert system.run_until_delivered(10, timeout=300.0)
+        # Cluster views learned across multi-hop cheap paths.
+        sim.run(until=sim.now + 15.0)
+        a_host = system.hosts[HostId("h0.0.0")]
+        assert HostId("h0.2.0") in a_host.cluster
+        assert HostId("h1.0.0") not in a_host.cluster
+
+
+class TestServerFailures:
+    def build(self):
+        sim = Simulator(seed=0)
+        built = hierarchical_wan(sim, clusters=2, servers_per_cluster=3,
+                                 hosts_per_server=1, backbone="line",
+                                 convergence_delay=0.0)
+        return sim, built
+
+    def test_down_server_discards_traffic(self):
+        sim, built = self.build()
+        got = []
+        built.network.host_port(HostId("h0.2.0")).set_receiver(got.append)
+        built.network.set_server_state("s0.1", up=False)
+        built.network.set_server_state("s0.2", up=False)
+        built.network.host_port(HostId("h0.0.0")).send(HostId("h0.2.0"),
+                                                       RawPayload())
+        sim.run(until=10.0)
+        assert got == []
+
+    def test_ring_routes_around_failed_server(self):
+        sim, built = self.build()
+        got = []
+        built.network.host_port(HostId("h0.2.0")).set_receiver(got.append)
+        built.network.set_server_state("s0.1", up=False)
+        # The intra-cluster ring provides the alternate path 0 -> 2.
+        built.network.host_port(HostId("h0.0.0")).send(HostId("h0.2.0"),
+                                                       RawPayload())
+        sim.run(until=10.0)
+        assert len(got) == 1
+
+    def test_repair_restores_links_between_up_servers_only(self):
+        sim, built = self.build()
+        network = built.network
+        network.set_server_state("s0.1", up=False)
+        network.set_server_state("s0.2", up=False)
+        assert not network.link("s0.1", "s0.2").up
+        network.set_server_state("s0.1", up=True)
+        # s0.1's link to the still-down s0.2 must stay down.
+        assert not network.link("s0.1", "s0.2").up
+        assert network.link("s0.0", "s0.1").up
+        network.set_server_state("s0.2", up=True)
+        assert network.link("s0.1", "s0.2").up
+
+    def test_set_server_state_is_idempotent(self):
+        sim, built = self.build()
+        built.network.set_server_state("s0.1", up=False)
+        built.network.set_server_state("s0.1", up=False)
+        built.network.set_server_state("s0.1", up=True)
+        assert built.network.servers["s0.1"].up
+
+
+class TestLeaderServerCrash:
+    def test_paper_scenario_new_leader_elected_after_server_crash(self):
+        """Paper §3: 'a cluster leader (or its server) may fail, in which
+        case the members of the cluster must come up with a new cluster
+        leader to maintain the connectivity of the tree.'"""
+        sim = Simulator(seed=5)
+        built = hierarchical_wan(sim, clusters=2, servers_per_cluster=3,
+                                 hosts_per_server=1, backbone="line")
+        system = BroadcastSystem(built,
+                                 config=ProtocolConfig.for_scale(6)).start()
+        system.broadcast_stream(10, interval=1.0, start_at=2.0)
+        assert system.run_until_delivered(10, timeout=300.0)
+        # Find the non-source cluster's leader and crash ITS SERVER.
+        leader = next(h for h in system.leaders() if h != system.source_id)
+        server = built.network.server_of(leader)
+        assert server != "s1.0", "test assumes the leader is not the gateway"
+        built.network.set_server_state(server, up=False)
+        system.broadcast_stream(10, interval=1.0, start_at=sim.now + 1.0)
+        survivors = [h for h in built.hosts
+                     if built.network.server_of(h) != server]
+        assert system.run_until_delivered(20, timeout=400.0, hosts=survivors)
+        # A new leader emerged among the survivors of that cluster.
+        new_leaders = [h for h in system.leaders()
+                       if str(h).startswith("h1") and h != leader]
+        assert new_leaders
+        # Repair: the old leader's hosts catch up on everything.
+        built.network.set_server_state(server, up=True)
+        assert system.run_until_delivered(20, timeout=400.0)
+
+
+class TestServerOutageSchedule:
+    def test_scheduled_crash_and_repair(self):
+        from repro.net import ServerOutageSchedule
+
+        sim = Simulator(seed=0)
+        built = hierarchical_wan(sim, clusters=1, servers_per_cluster=3,
+                                 hosts_per_server=1, convergence_delay=0.0)
+        schedule = ServerOutageSchedule(sim, built.network)
+        schedule.outage(5.0, 12.0, "s0.1")
+        assert built.network.servers["s0.1"].up
+        sim.run(until=6.0)
+        assert not built.network.servers["s0.1"].up
+        sim.run(until=13.0)
+        assert built.network.servers["s0.1"].up
+
+    def test_outage_validates_interval(self):
+        from repro.net import ServerOutageSchedule
+
+        sim = Simulator(seed=0)
+        built = hierarchical_wan(sim, clusters=1, servers_per_cluster=2,
+                                 hosts_per_server=1, convergence_delay=0.0)
+        with pytest.raises(ValueError):
+            ServerOutageSchedule(sim, built.network).outage(5.0, 5.0, "s0.0")
+
+    def test_protocol_survives_mid_stream_server_outage(self):
+        from repro.net import ServerOutageSchedule
+
+        sim = Simulator(seed=7)
+        built = hierarchical_wan(sim, clusters=2, servers_per_cluster=3,
+                                 hosts_per_server=1, backbone="line")
+        system = BroadcastSystem(built,
+                                 config=ProtocolConfig.for_scale(6)).start()
+        # A non-gateway server of the far cluster dies for 25 seconds.
+        ServerOutageSchedule(sim, built.network).outage(10.0, 35.0, "s1.1")
+        system.broadcast_stream(30, interval=1.0, start_at=2.0)
+        assert system.run_until_delivered(30, timeout=400.0)

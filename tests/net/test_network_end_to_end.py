@@ -1,0 +1,155 @@
+"""Integration tests: host-to-host delivery through servers."""
+
+import pytest
+
+from repro.net import (
+    HostId,
+    Network,
+    RawPayload,
+    cheap_spec,
+    expensive_spec,
+)
+from repro.sim import Simulator
+
+
+def build_two_cluster_network(convergence_delay=0.0):
+    """Two LANs (s0: h0,h1) and (s1: h2) joined by an expensive trunk."""
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    network.add_server("s0")
+    network.add_server("s1")
+    network.connect("s0", "s1", expensive_spec())
+    h0, h1, h2 = HostId("h0"), HostId("h1"), HostId("h2")
+    network.add_host(h0, "s0")
+    network.add_host(h1, "s0")
+    network.add_host(h2, "s1")
+    network.use_global_routing(convergence_delay=convergence_delay)
+    return sim, network, (h0, h1, h2)
+
+
+def collect(network, host_id):
+    got = []
+    network.host_port(host_id).set_receiver(got.append)
+    return got
+
+
+def test_same_cluster_delivery_has_clear_cost_bit():
+    sim, network, (h0, h1, h2) = build_two_cluster_network()
+    got = collect(network, h1)
+    network.host_port(h0).send(h1, RawPayload("hello"))
+    sim.run()
+    assert len(got) == 1
+    assert got[0].payload.content == "hello"
+    assert got[0].cost_bit is False
+
+
+def test_cross_cluster_delivery_sets_cost_bit():
+    sim, network, (h0, h1, h2) = build_two_cluster_network()
+    got = collect(network, h2)
+    network.host_port(h0).send(h2, RawPayload("hi"))
+    sim.run()
+    assert len(got) == 1
+    assert got[0].cost_bit is True
+
+
+def test_multi_hop_routing_through_switch_only_server():
+    """A server with no hosts acts purely as a switch (paper Section 2)."""
+    sim = Simulator()
+    network = Network(sim)
+    for name in ["s0", "sw", "s1"]:
+        network.add_server(name)
+    network.connect("s0", "sw", cheap_spec())
+    network.connect("sw", "s1", cheap_spec())
+    a, b = HostId("a"), HostId("b")
+    network.add_host(a, "s0")
+    network.add_host(b, "s1")
+    network.use_global_routing(convergence_delay=0.0)
+    got = collect(network, b)
+    network.host_port(a).send(b, RawPayload())
+    sim.run()
+    assert len(got) == 1
+    # 4 links: a->s0, s0->sw, sw->s1, s1->b
+    assert len(got[0].hops) == 4
+
+
+def test_send_to_self_rejected():
+    sim, network, (h0, _, _) = build_two_cluster_network()
+    with pytest.raises(ValueError):
+        network.host_port(h0).send(h0, RawPayload())
+
+
+def test_unknown_destination_dropped_silently():
+    sim, network, (h0, _, _) = build_two_cluster_network()
+    network.host_port(h0).send(HostId("ghost"), RawPayload())
+    sim.run()
+    assert sim.metrics.counter("net.drop.unknown_host").value == 1
+
+
+def test_partitioned_destination_drops_at_no_route():
+    sim, network, (h0, h1, h2) = build_two_cluster_network()
+    got = collect(network, h2)
+    network.set_link_state("s0", "s1", up=False)
+    network.host_port(h0).send(h2, RawPayload())
+    sim.run()
+    assert got == []
+    assert sim.metrics.counter("net.drop.no_route").value == 1
+
+
+def test_delivery_resumes_after_repair():
+    sim, network, (h0, h1, h2) = build_two_cluster_network()
+    got = collect(network, h2)
+    network.set_link_state("s0", "s1", up=False)
+    network.host_port(h0).send(h2, RawPayload())
+
+    def repair_and_resend():
+        network.set_link_state("s0", "s1", up=True)
+        network.host_port(h0).send(h2, RawPayload())
+
+    sim.schedule(10.0, repair_and_resend)
+    sim.run()
+    assert len(got) == 1
+
+
+def test_down_access_link_simulates_host_crash():
+    """Per the paper, a host crash is modelled by failing its access link."""
+    sim, network, (h0, h1, h2) = build_two_cluster_network()
+    got = collect(network, h1)
+    network.set_link_state("h1", "s0", up=False)
+    network.host_port(h0).send(h1, RawPayload())
+    sim.run()
+    assert got == []
+    # h1 also cannot send:
+    network.host_port(h1).send(h0, RawPayload())
+    sim.run()
+    assert sim.metrics.counter("net.drop.down").value >= 1
+
+
+def test_h2h_metrics_and_delay_recorded():
+    sim, network, (h0, h1, h2) = build_two_cluster_network()
+    collect(network, h2)
+    network.host_port(h0).send(h2, RawPayload())
+    sim.run()
+    assert sim.metrics.counter("net.h2h.sent").value == 1
+    assert sim.metrics.counter("net.h2h.recv").value == 1
+    assert sim.metrics.counter("net.h2h.recv.expensive").value == 1
+    assert sim.metrics.histogram("net.h2h.delay").count == 1
+    assert sim.metrics.histogram("net.h2h.delay").mean > 0
+
+
+def test_duplicate_names_rejected():
+    sim = Simulator()
+    network = Network(sim)
+    network.add_server("s0")
+    with pytest.raises(ValueError):
+        network.add_server("s0")
+    network.add_host(HostId("h0"), "s0")
+    with pytest.raises(ValueError):
+        network.add_host(HostId("h0"), "s0")
+    with pytest.raises(ValueError):
+        network.add_server("h0")  # name collision with host
+    with pytest.raises(ValueError):
+        network.add_host(HostId("s0"), "s0")  # name collision with server
+    network.add_server("s1")
+    network.connect("s0", "s1")
+    with pytest.raises(ValueError):
+        network.connect("s1", "s0")

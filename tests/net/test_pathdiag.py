@@ -1,0 +1,97 @@
+"""Tests for route tracing diagnostics."""
+
+import pytest
+
+from repro.net import HostId, Network, cheap_spec, expensive_spec, wan_of_lans
+from repro.net.pathdiag import routes_overview, trace_route
+from repro.net.routing import RoutingEngine
+from repro.sim import Simulator
+
+
+def build(k=2, m=2):
+    sim = Simulator(seed=0)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m, backbone="line",
+                        convergence_delay=0.0)
+    return sim, built
+
+
+def test_complete_intra_cluster_route_is_cheap():
+    sim, built = build()
+    trace = trace_route(built.network, HostId("h0.0"), HostId("h0.1"))
+    assert trace.complete
+    assert trace.nodes == ["h0.0", "s0", "h0.1"]
+    assert not trace.expensive
+    assert trace.hop_count == 2
+    assert trace.latency_estimate > 0
+
+
+def test_cross_cluster_route_is_expensive():
+    sim, built = build()
+    trace = trace_route(built.network, HostId("h0.0"), HostId("h1.0"))
+    assert trace.complete
+    assert trace.expensive
+    assert trace.nodes == ["h0.0", "s0", "s1", "h1.0"]
+    assert "expensive" in str(trace)
+
+
+def test_no_route_after_partition():
+    sim, built = build()
+    built.network.set_link_state("s0", "s1", up=False)
+    trace = trace_route(built.network, HostId("h0.0"), HostId("h1.0"))
+    assert trace.status == "no_route"
+    assert not trace.complete
+
+
+def test_link_down_detected_with_stale_tables():
+    sim = Simulator(seed=0)
+    built = wan_of_lans(sim, 2, 1, backbone="line", convergence_delay=100.0)
+    built.network.set_link_state("s0", "s1", up=False)
+    # Routing has not converged: table still says s1, but the link is down.
+    trace = trace_route(built.network, HostId("h0.0"), HostId("h1.0"))
+    assert trace.status == "link_down"
+
+
+def test_down_access_link():
+    sim, built = build()
+    built.network.set_link_state("h0.0", "s0", up=False)
+    trace = trace_route(built.network, HostId("h0.0"), HostId("h0.1"))
+    assert trace.status == "link_down"
+    assert trace.nodes == ["h0.0"]
+
+
+class _LoopRouting(RoutingEngine):
+    def next_hop(self, at_server, dst_server):
+        return {"s0": "s1", "s1": "s0"}[at_server]
+
+    def on_topology_change(self):
+        pass
+
+
+def test_loop_detected():
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    network.add_server("s0")
+    network.add_server("s1")
+    network.add_server("s2")
+    network.connect("s0", "s1", cheap_spec())
+    network.connect("s1", "s2", cheap_spec())
+    network.add_host(HostId("a"), "s0")
+    network.add_host(HostId("b"), "s2")
+    network.use_routing(_LoopRouting())
+    trace = trace_route(network, HostId("a"), HostId("b"))
+    assert trace.status == "loop"
+
+
+def test_unknown_host_is_no_route():
+    sim, built = build()
+    trace = trace_route(built.network, HostId("h0.0"), HostId("ghost"))
+    assert trace.status == "no_route"
+
+
+def test_routes_overview_covers_all_other_hosts():
+    sim, built = build(k=2, m=2)
+    traces = routes_overview(built.network, HostId("h0.0"))
+    assert len(traces) == 3
+    assert all(t.complete for t in traces)
+    # Exactly the two cross-cluster routes are expensive.
+    assert sum(t.expensive for t in traces) == 2

@@ -1,0 +1,128 @@
+"""Unit tests for the global routing engine."""
+
+import pytest
+
+from repro.net import Network, cheap_spec, expensive_spec, hop_metric, cheap_first_metric
+from repro.sim import Simulator
+
+
+def build_line(n, convergence_delay=0.0):
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    for i in range(n):
+        network.add_server(f"s{i}")
+    for i in range(1, n):
+        network.connect(f"s{i-1}", f"s{i}", cheap_spec(latency=0.01))
+    engine = network.use_global_routing(convergence_delay=convergence_delay)
+    return sim, network, engine
+
+
+def test_next_hop_along_line():
+    sim, network, engine = build_line(4)
+    assert engine.next_hop("s0", "s3") == "s1"
+    assert engine.next_hop("s1", "s3") == "s2"
+    assert engine.next_hop("s2", "s3") == "s3"
+    assert engine.next_hop("s3", "s0") == "s2"
+
+
+def test_next_hop_to_self_is_absent():
+    sim, network, engine = build_line(2)
+    assert engine.next_hop("s0", "s0") is None
+
+
+def test_unreachable_destination_has_no_route():
+    sim = Simulator()
+    network = Network(sim)
+    network.add_server("a")
+    network.add_server("b")
+    engine = network.use_global_routing(convergence_delay=0.0)
+    assert engine.next_hop("a", "b") is None
+
+
+def test_routing_prefers_lower_latency_path():
+    sim = Simulator()
+    network = Network(sim)
+    for name in ["a", "b", "c"]:
+        network.add_server(name)
+    network.connect("a", "c", cheap_spec(latency=1.0))
+    network.connect("a", "b", cheap_spec(latency=0.1))
+    network.connect("b", "c", cheap_spec(latency=0.1))
+    engine = network.use_global_routing(convergence_delay=0.0)
+    assert engine.next_hop("a", "c") == "b"
+
+
+def test_hop_metric_prefers_direct_path():
+    sim = Simulator()
+    network = Network(sim)
+    for name in ["a", "b", "c"]:
+        network.add_server(name)
+    network.connect("a", "c", cheap_spec(latency=1.0))
+    network.connect("a", "b", cheap_spec(latency=0.1))
+    network.connect("b", "c", cheap_spec(latency=0.1))
+    engine = network.use_global_routing(convergence_delay=0.0, metric=hop_metric)
+    assert engine.next_hop("a", "c") == "c"
+
+
+def test_cheap_first_metric_avoids_expensive_links():
+    sim = Simulator()
+    network = Network(sim)
+    for name in ["a", "b", "c", "d"]:
+        network.add_server(name)
+    network.connect("a", "d", expensive_spec(latency=0.01))
+    network.connect("a", "b", cheap_spec(latency=1.0))
+    network.connect("b", "c", cheap_spec(latency=1.0))
+    network.connect("c", "d", cheap_spec(latency=1.0))
+    engine = network.use_global_routing(convergence_delay=0.0, metric=cheap_first_metric)
+    assert engine.next_hop("a", "d") == "b"
+
+
+def test_failure_reroutes_after_convergence_delay():
+    sim = Simulator()
+    network = Network(sim)
+    for name in ["a", "b", "c"]:
+        network.add_server(name)
+    network.connect("a", "b", cheap_spec(latency=0.1))
+    network.connect("b", "c", cheap_spec(latency=0.1))
+    network.connect("a", "c", cheap_spec(latency=1.0))
+    engine = network.use_global_routing(convergence_delay=2.0)
+    assert engine.next_hop("a", "c") == "b"
+    network.set_link_state("a", "b", up=False)
+    # Stale during convergence window:
+    assert engine.next_hop("a", "c") == "b"
+    sim.run(until=3.0)
+    assert engine.next_hop("a", "c") == "c"
+
+
+def test_repair_restores_routes():
+    sim, network, engine = build_line(3, convergence_delay=0.0)
+    network.set_link_state("s0", "s1", up=False)
+    assert engine.next_hop("s0", "s2") is None
+    network.set_link_state("s0", "s1", up=True)
+    assert engine.next_hop("s0", "s2") == "s1"
+
+
+def test_multiple_changes_coalesce_into_one_recompute():
+    sim, network, engine = build_line(4, convergence_delay=1.0)
+    network.set_link_state("s0", "s1", up=False)
+    network.set_link_state("s1", "s2", up=False)
+    sim.run(until=5.0)
+    assert sim.trace.count("routing.converged") == 1
+    assert engine.next_hop("s0", "s3") is None
+
+
+def test_deterministic_tie_breaking():
+    """Two equal-cost paths must resolve identically across runs."""
+
+    def route():
+        sim = Simulator(seed=1)
+        network = Network(sim)
+        for name in ["a", "b1", "b2", "c"]:
+            network.add_server(name)
+        network.connect("a", "b1", cheap_spec(latency=0.1))
+        network.connect("a", "b2", cheap_spec(latency=0.1))
+        network.connect("b1", "c", cheap_spec(latency=0.1))
+        network.connect("b2", "c", cheap_spec(latency=0.1))
+        engine = network.use_global_routing(convergence_delay=0.0)
+        return engine.next_hop("a", "c")
+
+    assert route() == route() == "b1"

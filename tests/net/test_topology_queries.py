@@ -1,0 +1,72 @@
+"""Tests for ground-truth topology queries (clusters, partitions)."""
+
+from repro.net import HostId, Network, cheap_spec, expensive_spec, wan_of_lans
+from repro.sim import Simulator
+
+
+def build_wan(k=3, m=2, backbone="line"):
+    sim = Simulator(seed=0)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m, backbone=backbone,
+                        convergence_delay=0.0)
+    return sim, built
+
+
+def test_true_clusters_match_generator_layout():
+    sim, built = build_wan(k=3, m=2)
+    clusters = built.network.true_clusters()
+    expected = [set(c) for c in built.clusters]
+    assert [set(c) for c in clusters] == expected
+
+
+def test_failing_expensive_trunk_does_not_change_clusters():
+    sim, built = build_wan(k=3, m=2)
+    before = built.network.true_clusters()
+    built.network.set_link_state("s0", "s1", up=False)
+    assert built.network.true_clusters() == before
+
+
+def test_cheap_link_between_clusters_merges_them():
+    """Paper Section 4.1: repairing a high-bandwidth path joins clusters."""
+    sim, built = build_wan(k=2, m=2)
+    network = built.network
+    assert len(network.true_clusters()) == 2
+    # Add a cheap parallel path via a new switch (LinkId s0<->s1 already used).
+    network.add_server("bridge")
+    network.connect("s0", "bridge", cheap_spec())
+    network.connect("bridge", "s1", cheap_spec())
+    network.routing.on_topology_change()
+    assert len(network.true_clusters()) == 1
+
+
+def test_host_with_down_access_link_is_singleton_cluster():
+    sim, built = build_wan(k=2, m=2)
+    network = built.network
+    network.set_link_state("h0.1", "s0", up=False)
+    clusters = [set(c) for c in network.true_clusters()]
+    assert {HostId("h0.1")} in clusters
+
+
+def test_partitions_reflect_any_class_links():
+    sim, built = build_wan(k=2, m=2)
+    network = built.network
+    assert len(network.partitions()) == 1  # expensive trunk still connects
+    network.set_link_state("s0", "s1", up=False)
+    parts = network.partitions()
+    assert len(parts) == 2
+
+
+def test_reachable_tracks_link_state():
+    sim, built = build_wan(k=2, m=1)
+    network = built.network
+    a, b = built.hosts
+    assert network.reachable(a, b)
+    network.set_link_state("s0", "s1", up=False)
+    assert not network.reachable(a, b)
+    network.set_link_state("s0", "s1", up=True)
+    assert network.reachable(a, b)
+
+
+def test_cluster_of_single_host():
+    sim, built = build_wan(k=2, m=3)
+    cluster = built.network.cluster_of(HostId("h1.2"))
+    assert cluster == set(built.clusters[1])

@@ -1,0 +1,108 @@
+"""Tests for the paper-figure scenario topologies."""
+
+from repro.net import HostId
+from repro.scenarios import (
+    BriefWindowSchedule,
+    WindowSpec,
+    figure_3_1,
+    figure_3_2,
+    figure_4_1,
+    midstream_partition,
+)
+from repro.net import wan_of_lans
+from repro.sim import Simulator
+
+import pytest
+
+
+class TestFigure31:
+    def test_topology_shape(self):
+        built = figure_3_1(Simulator(seed=0))
+        network = built.network
+        assert set(network.server_names()) == {"s1", "s2", "s3", "s4"}
+        assert len(built.hosts) == 3
+        assert built.source == HostId("h1")
+        # s4 is a pure switch: no hosts attached.
+        assert not network.servers["s4"].attached
+        # 6 links: 3 trunks + 3 access links.
+        assert len(network.links) == 6
+
+    def test_single_cluster_when_cheap(self):
+        built = figure_3_1(Simulator(seed=0))
+        assert len(built.network.true_clusters()) == 1
+
+
+class TestFigure32:
+    def test_topology_shape(self):
+        built = figure_3_2(Simulator(seed=0))
+        assert len(built.clusters) == 4
+        assert len(built.hosts) == 9
+        assert len(built.network.true_clusters()) == 4
+        # Cluster 3 (C) reaches both candidate parent clusters directly.
+        assert ("s1", "s3") in built.backbone
+        assert ("s2", "s3") in built.backbone
+
+    def test_connected(self):
+        built = figure_3_2(Simulator(seed=0))
+        assert len(built.network.partitions()) == 1
+
+
+class TestFigure41:
+    def test_topology_shape(self):
+        built = figure_4_1(Simulator(seed=0))
+        assert [str(h) for h in built.hosts] == ["s", "i", "j"]
+        assert len(built.network.true_clusters()) == 3
+
+    def test_i_j_survive_source_isolation(self):
+        built = figure_4_1(Simulator(seed=0))
+        network = built.network
+        network.set_link_state("ss", "si", up=False)
+        network.set_link_state("ss", "sj", up=False)
+        assert network.reachable(HostId("i"), HostId("j"))
+        assert not network.reachable(HostId("s"), HostId("i"))
+
+
+class TestMidstreamPartition:
+    def test_cuts_and_heals(self):
+        sim = Simulator(seed=0)
+        built = wan_of_lans(sim, 3, 2, backbone="line", convergence_delay=0.0)
+        cut = midstream_partition(built, cluster_index=2, start=5.0, end=10.0)
+        assert cut == [("s1", "s2")]
+        sim.run(until=6.0)
+        assert len(built.network.partitions()) == 2
+        sim.run(until=11.0)
+        assert len(built.network.partitions()) == 1
+
+    def test_requires_cluster_metadata(self):
+        sim = Simulator(seed=0)
+        built = wan_of_lans(sim, 2, 1, convergence_delay=0.0)
+        built.clusters = []
+        with pytest.raises(ValueError):
+            midstream_partition(built, 0, 1.0, 2.0)
+
+
+class TestBriefWindows:
+    def test_window_spec_validation(self):
+        with pytest.raises(ValueError):
+            WindowSpec(period=10.0, width=10.0)
+        with pytest.raises(ValueError):
+            WindowSpec(period=0.0, width=1.0)
+
+    def test_links_up_only_during_windows(self):
+        sim = Simulator(seed=0)
+        built = wan_of_lans(sim, 2, 1, backbone="line", convergence_delay=0.0)
+        window = WindowSpec(period=20.0, width=2.0, first_open=10.0)
+        schedule = BriefWindowSchedule(sim, built, built.backbone, window,
+                                       until=50.0)
+        link = built.network.link("s0", "s1")
+        checks = []
+
+        def probe():
+            checks.append((sim.now, link.up))
+
+        for t in [5.0, 11.0, 15.0, 31.0, 45.0, 55.0]:
+            sim.schedule_at(t, probe)
+        sim.run(until=60.0)
+        assert checks == [(5.0, False), (11.0, True), (15.0, False),
+                          (31.0, True), (45.0, False), (55.0, True)]
+        assert schedule.total_open_time == pytest.approx(4.0)

@@ -1,0 +1,61 @@
+"""Tests for the load-shift scenario (delay adaptation, Section 3)."""
+
+import dataclasses
+
+from repro.core import BroadcastSystem, ProtocolConfig
+from repro.net import HostId
+from repro.scenarios import apply_load_shift, load_shift_topology
+from repro.sim import Simulator
+
+
+def test_topology_shape():
+    built = load_shift_topology(Simulator(seed=0), convergence_delay=0.0)
+    network = built.network
+    assert len(built.hosts) == 5
+    assert len(network.true_clusters()) == 4
+    # C reaches the source only through B1's or B2's server.
+    network.set_link_state("s1", "s3", up=False)
+    assert network.reachable(HostId("c0"), HostId("src"))
+    network.set_link_state("s2", "s3", up=False)
+    assert not network.reachable(HostId("c0"), HostId("src"))
+
+
+def test_load_shift_switches_generators():
+    sim = Simulator(seed=1)
+    built = load_shift_topology(sim)
+    shift = apply_load_shift(sim, built, shift_at=10.0)
+    sim.run(until=5.0)
+    early = sim.metrics.counter("xtraffic.injected").value
+    assert early > 0
+    sim.run(until=20.0)
+    assert sim.trace.count("scenario.load_shift") == 1
+    shift.generator_phase2.stop()
+    assert shift.total_injected(sim) > early
+
+
+def test_delay_optimization_migrates_leader_after_shift():
+    """The paper's Section 3 story end to end (small version)."""
+
+    def run(enabled):
+        sim = Simulator(seed=5)
+        built = load_shift_topology(sim)
+        config = dataclasses.replace(
+            ProtocolConfig.for_scale(5), enable_delay_optimization=enabled)
+        system = BroadcastSystem(built, source=HostId("src"),
+                                 config=config).start()
+        shift = apply_load_shift(sim, built, shift_at=40.0)
+        system.broadcast_stream(30, interval=1.0, start_at=5.0)
+        sim.run(until=40.0)
+        before = str(system.hosts[HostId("c1")].parent)
+        system.broadcast_stream(30, interval=1.0, start_at=41.0)
+        ok = system.run_until_delivered(60, timeout=600.0)
+        shift.generator_phase2.stop()
+        after = str(system.hosts[HostId("c1")].parent)
+        return ok, before, after
+
+    ok_on, before_on, after_on = run(True)
+    ok_off, before_off, after_off = run(False)
+    assert ok_on and ok_off
+    assert before_on == before_off          # same starting tree
+    assert after_on != before_on            # II.3 migrated the leader
+    assert after_off == before_off          # ablation stayed put

@@ -1,0 +1,90 @@
+"""Property-based tests of the event kernel's ordering guarantees."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+times = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@given(st.lists(times, min_size=1, max_size=50))
+def test_events_execute_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    executed = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: executed.append((sim.now, d)))
+    sim.run()
+    observed_times = [t for t, _ in executed]
+    assert observed_times == sorted(observed_times)
+    # Every event ran at exactly its scheduled time.
+    assert all(t == d for t, d in executed)
+    assert len(executed) == len(delays)
+
+
+@given(st.lists(st.tuples(times, st.integers(min_value=-3, max_value=3)),
+                min_size=1, max_size=40))
+def test_priority_orders_same_time_events(items):
+    sim = Simulator()
+    executed = []
+    for time_, priority in items:
+        sim.schedule(time_, lambda t=time_, p=priority: executed.append((t, p)),
+                     priority=priority)
+    sim.run()
+    # Within each time instant, priorities must be non-decreasing.
+    for (t1, p1), (t2, p2) in zip(executed, executed[1:]):
+        assert t1 <= t2
+        if t1 == t2:
+            assert p1 <= p2
+
+
+@given(st.lists(times, min_size=2, max_size=30),
+       st.data())
+def test_cancellation_removes_exactly_the_cancelled(delays, data):
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(d, lambda i=i: fired.append(i))
+              for i, d in enumerate(delays)]
+    to_cancel = data.draw(st.sets(
+        st.integers(min_value=0, max_value=len(events) - 1),
+        max_size=len(events)))
+    for idx in to_cancel:
+        sim.cancel(events[idx])
+    sim.run()
+    assert sorted(fired) == [i for i in range(len(delays))
+                             if i not in to_cancel]
+
+
+@given(st.lists(times, min_size=1, max_size=30), times)
+def test_run_until_executes_exactly_the_due_events(delays, horizon):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(d))
+    sim.run(until=horizon)
+    assert sorted(fired) == sorted(d for d in delays if d <= horizon)
+    assert sim.now == max([horizon] + [d for d in delays if d <= horizon])
+
+
+@given(st.lists(times, min_size=1, max_size=20))
+def test_split_runs_equal_single_run(delays):
+    """Running in two segments reaches the same state as one run."""
+
+    def run_once():
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(d))
+        sim.run(until=200.0)
+        return fired
+
+    def run_split():
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(d))
+        sim.run(until=50.0)
+        sim.run(until=200.0)
+        return fired
+
+    assert run_once() == run_split()

@@ -1,0 +1,125 @@
+"""Unit and property tests for metrics primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Histogram, Simulator
+
+
+def test_counter_increments_and_rejects_negative():
+    sim = Simulator()
+    counter = sim.metrics.counter("sent")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_counter_registry_returns_same_object():
+    sim = Simulator()
+    assert sim.metrics.counter("a") is sim.metrics.counter("a")
+
+
+def test_counters_snapshot_with_prefix():
+    sim = Simulator()
+    sim.metrics.counter("net.sent").inc(3)
+    sim.metrics.counter("net.recv").inc(2)
+    sim.metrics.counter("host.deliver").inc(1)
+    assert sim.metrics.counters("net.") == {"net.recv": 2, "net.sent": 3}
+
+
+def test_gauge_tracks_peak():
+    sim = Simulator()
+    gauge = sim.metrics.gauge("queue")
+    gauge.set(5)
+    gauge.add(-2)
+    gauge.add(1)
+    assert gauge.value == 4
+    assert gauge.peak == 5
+
+
+def test_histogram_basic_stats():
+    h = Histogram("delay")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == 10.0
+    assert h.mean == 2.5
+    assert h.min == 1.0
+    assert h.max == 4.0
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(1.0) == 4.0
+    assert h.quantile(0.5) == 2.5
+
+
+def test_histogram_empty_returns_nan():
+    h = Histogram("x")
+    assert math.isnan(h.mean)
+    assert math.isnan(h.quantile(0.5))
+    assert math.isnan(h.min)
+
+
+def test_histogram_quantile_bounds_checked():
+    h = Histogram("x")
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_count_above():
+    h = Histogram("x")
+    for v in [1.0, 2.0, 2.0, 3.0]:
+        h.observe(v)
+    assert h.count_above(2.0) == 1
+    assert h.count_above(0.5) == 4
+    assert h.count_above(3.0) == 0
+
+
+def test_histogram_stddev():
+    h = Histogram("x")
+    for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+        h.observe(v)
+    assert h.stddev() == pytest.approx(2.138, abs=1e-3)
+    single = Histogram("y")
+    single.observe(1.0)
+    assert single.stddev() == 0.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+def test_histogram_quantiles_monotone_and_bounded(samples):
+    h = Histogram("p")
+    for s in samples:
+        h.observe(s)
+    qs = [h.quantile(q / 10) for q in range(11)]
+    assert qs == sorted(qs)
+    assert qs[0] == min(samples)
+    assert qs[-1] == max(samples)
+    assert h.mean == pytest.approx(sum(samples) / len(samples), rel=1e-9, abs=1e-6)
+
+
+def test_timeseries_records_sim_time():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: sim.metrics.record_series("q", 5))
+    sim.schedule(4.0, lambda: sim.metrics.record_series("q", 1))
+    sim.run()
+    series = sim.metrics.series("q")
+    assert series.points == [(2.0, 5), (4.0, 1)]
+    assert series.max() == 5
+
+
+def test_timeseries_time_average_step_interpolation():
+    sim = Simulator()
+    series = sim.metrics.series("q")
+    series.record(0.0, 2.0)
+    series.record(4.0, 6.0)
+    # value 2 for 4 units, then 6 for 4 units -> average 4
+    assert series.time_average(until=8.0) == pytest.approx(4.0)
+
+
+def test_timeseries_empty_stats_are_nan():
+    sim = Simulator()
+    assert math.isnan(sim.metrics.series("empty").max())
+    assert math.isnan(sim.metrics.series("empty").time_average())

@@ -1,0 +1,127 @@
+"""Unit tests for PeriodicTask and Timer."""
+
+import pytest
+
+from repro.sim import PeriodicTask, Simulator, Timer
+
+
+class TestPeriodicTask:
+    def test_ticks_at_fixed_period(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 2.0, lambda: ticks.append(sim.now)).start()
+        sim.run(until=10.0)
+        assert ticks == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_stop_halts_ticking(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now)).start()
+        sim.run(until=3.0)
+        task.stop()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert not task.running
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        ticks = []
+
+        def cb():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task = PeriodicTask(sim, 1.0, cb).start()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        task.start()
+        sim.run(until=2.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_start_after_overrides_first_delay(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTask(sim, 5.0, lambda: ticks.append(sim.now), start_after=0.5).start()
+        sim.run(until=11.0)
+        assert ticks == [0.5, 5.5, 10.5]
+
+    def test_jitter_stays_within_bounds_and_is_deterministic(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            ticks = []
+            PeriodicTask(
+                sim, 10.0, lambda: ticks.append(sim.now), jitter=2.0, rng_stream="t"
+            ).start()
+            sim.run(until=200.0)
+            return ticks
+
+        ticks = run(1)
+        gaps = [b - a for a, b in zip(ticks, ticks[1:])]
+        assert all(8.0 <= g <= 12.0 for g in gaps)
+        assert run(1) == ticks
+        assert run(2) != ticks
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 0.0, lambda: None)
+
+    def test_invalid_jitter_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 1.0, lambda: None, jitter=1.0)
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.run(until=10.0)
+        assert fired == [3.0]
+        assert not timer.armed
+
+    def test_restart_rearms(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.run(until=2.0)
+        timer.start(3.0)  # re-arm before it fires
+        sim.run(until=10.0)
+        assert fired == [5.0]
+
+    def test_cancel_disarms(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        timer.cancel()
+        timer.cancel()  # safe when already disarmed
+        sim.run(until=10.0)
+        assert fired == []
+
+    def test_args_passed_through(self):
+        sim = Simulator()
+        got = []
+        timer = Timer(sim, lambda *a: got.append(a))
+        timer.start(1.0, "ctx", 42)
+        sim.run()
+        assert got == [("ctx", 42)]
+
+    def test_armed_property(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(1.0)
+        assert timer.armed
+        sim.run()
+        assert not timer.armed

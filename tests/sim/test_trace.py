@@ -1,0 +1,91 @@
+"""Unit tests for the tracer."""
+
+from repro.sim import Simulator, summarize_kinds
+
+
+def make_sim():
+    return Simulator(seed=0)
+
+
+def test_emit_records_time_kind_source_fields():
+    sim = make_sim()
+    sim.schedule(4.0, lambda: sim.trace.emit("host.deliver", "h1", seq=3))
+    sim.run()
+    (record,) = list(sim.trace)
+    assert record.time == 4.0
+    assert record.kind == "host.deliver"
+    assert record.source == "h1"
+    assert record["seq"] == 3
+    assert record.get("missing", "dflt") == "dflt"
+
+
+def test_records_filter_by_kind_prefix():
+    sim = make_sim()
+    sim.trace.emit("link.drop", "l1")
+    sim.trace.emit("link.send", "l1")
+    sim.trace.emit("host.deliver", "h1")
+    assert len(sim.trace.records(kind="link.")) == 2
+    assert sim.trace.count(kind="host.") == 1
+
+
+def test_records_filter_by_source_and_fields():
+    sim = make_sim()
+    sim.trace.emit("host.deliver", "h1", seq=1)
+    sim.trace.emit("host.deliver", "h2", seq=1)
+    sim.trace.emit("host.deliver", "h1", seq=2)
+    assert len(sim.trace.records(source="h1")) == 2
+    assert len(sim.trace.records(kind="host.deliver", seq=1)) == 2
+    assert len(sim.trace.records(source="h1", seq=2)) == 1
+
+
+def test_records_filter_by_since():
+    sim = make_sim()
+    sim.trace.emit("a", "x")
+    sim.schedule(10.0, lambda: sim.trace.emit("a", "x"))
+    sim.run()
+    assert len(sim.trace.records(kind="a", since=5.0)) == 1
+
+
+def test_last_returns_most_recent():
+    sim = make_sim()
+    sim.trace.emit("k", "x", n=1)
+    sim.trace.emit("k", "x", n=2)
+    assert sim.trace.last("k")["n"] == 2
+    assert sim.trace.last("nope") is None
+
+
+def test_disabled_tracer_retains_nothing():
+    sim = make_sim()
+    sim.trace.enabled = False
+    sim.trace.emit("k", "x")
+    assert len(sim.trace) == 0
+
+
+def test_subscribers_fire_even_when_disabled():
+    sim = make_sim()
+    sim.trace.enabled = False
+    seen = []
+    sim.trace.subscribe("host.", seen.append)
+    sim.trace.emit("host.deliver", "h1")
+    sim.trace.emit("link.drop", "l1")  # not matching prefix
+    assert len(seen) == 1
+    assert seen[0].kind == "host.deliver"
+
+
+def test_clear_drops_records_keeps_subscribers():
+    sim = make_sim()
+    seen = []
+    sim.trace.subscribe("", seen.append)
+    sim.trace.emit("a", "x")
+    sim.trace.clear()
+    assert len(sim.trace) == 0
+    sim.trace.emit("b", "x")
+    assert len(seen) == 2
+
+
+def test_summarize_kinds():
+    sim = make_sim()
+    sim.trace.emit("a", "x")
+    sim.trace.emit("a", "x")
+    sim.trace.emit("b", "x")
+    assert summarize_kinds(sim.trace) == {"a": 2, "b": 1}

@@ -1,0 +1,128 @@
+"""Unit tests for the abstract protocol specification."""
+
+import pytest
+
+from repro.net import HostId
+from repro.spec import Attach, Broadcast, BroadcastSpec, Deliver, Detach
+
+S, A, B, C = (HostId(x) for x in ["s", "a", "b", "c"])
+
+
+def make_spec():
+    return BroadcastSpec(source=S, hosts=[S, A, B, C])
+
+
+def test_source_must_be_a_host():
+    with pytest.raises(ValueError):
+        BroadcastSpec(source=HostId("ghost"), hosts=[A])
+
+
+class TestBroadcastAction:
+    def test_consecutive_numbering(self):
+        spec = make_spec()
+        assert spec.apply(Broadcast(1)) is None
+        assert spec.apply(Broadcast(2)) is None
+        assert 2 in spec.state.info[S]
+
+    def test_skipping_a_number_violates(self):
+        spec = make_spec()
+        spec.apply(Broadcast(1))
+        assert spec.apply(Broadcast(3)) is not None
+
+    def test_repeating_a_number_violates(self):
+        spec = make_spec()
+        spec.apply(Broadcast(1))
+        assert spec.apply(Broadcast(1)) is not None
+
+
+class TestDeliverAction:
+    def seeded(self):
+        spec = make_spec()
+        spec.apply(Broadcast(1))
+        spec.apply(Broadcast(2))
+        spec.apply(Attach(A, S))
+        return spec
+
+    def test_delivery_from_parent_allowed(self):
+        spec = self.seeded()
+        assert spec.apply(Deliver(A, 1, S)) is None
+        assert 1 in spec.state.info[A]
+
+    def test_never_broadcast_message_rejected(self):
+        spec = self.seeded()
+        violation = spec.apply(Deliver(A, 99, S))
+        assert violation and "never broadcast" in violation
+
+    def test_duplicate_delivery_rejected(self):
+        spec = self.seeded()
+        spec.apply(Deliver(A, 1, S))
+        violation = spec.apply(Deliver(A, 1, S))
+        assert violation and "twice" in violation
+
+    def test_supplier_must_hold_the_message(self):
+        spec = self.seeded()
+        spec.apply(Attach(B, A))
+        # A does not hold seq 1 yet, so it cannot supply it to B.
+        violation = spec.apply(Deliver(B, 1, A))
+        assert violation and "without holding" in violation
+
+    def test_new_maximum_only_from_parent(self):
+        spec = self.seeded()
+        # B's parent is None; a new-max delivery from A must be rejected.
+        spec.apply(Deliver(A, 1, S))
+        violation = spec.apply(Deliver(B, 1, A))
+        assert violation and "parent" in violation
+
+    def test_gap_below_maximum_from_anyone(self):
+        spec = self.seeded()
+        spec.apply(Deliver(A, 1, S))
+        spec.apply(Deliver(A, 2, S))
+        spec.apply(Attach(B, S))
+        spec.apply(Deliver(B, 2, S))      # new max via parent
+        assert spec.apply(Deliver(B, 1, A)) is None  # hole filled by A
+
+    def test_source_self_delivery_allowed(self):
+        spec = make_spec()
+        assert spec.apply(Broadcast(1)) is None
+
+
+class TestAttachDetach:
+    def test_source_never_attaches(self):
+        spec = make_spec()
+        assert spec.apply(Attach(S, A)) is not None
+
+    def test_self_attachment_rejected(self):
+        spec = make_spec()
+        assert spec.apply(Attach(A, A)) is not None
+
+    def test_attach_updates_parent(self):
+        spec = make_spec()
+        spec.apply(Attach(A, B))
+        assert spec.state.parent[A] == B
+        spec.apply(Detach(A))
+        assert spec.state.parent[A] is None
+
+    def test_source_detach_rejected(self):
+        spec = make_spec()
+        assert spec.apply(Detach(S)) is not None
+
+
+class TestFinalCheck:
+    def test_incomplete_run_flagged_when_expected_complete(self):
+        spec = make_spec()
+        spec.apply(Broadcast(1))
+        violations = spec.final_check(expect_complete=True)
+        assert any("never received" in v for v in violations)
+
+    def test_complete_run_passes(self):
+        spec = make_spec()
+        spec.apply(Broadcast(1))
+        for host in (A, B, C):
+            spec.apply(Attach(host, S))
+            spec.apply(Deliver(host, 1, S))
+        assert spec.final_check(expect_complete=True) == []
+
+    def test_incomplete_ok_when_not_expected(self):
+        spec = make_spec()
+        spec.apply(Broadcast(1))
+        assert spec.final_check(expect_complete=False) == []

@@ -1,0 +1,104 @@
+"""Tests for the opportunity auditor (relative reliability, Section 1)."""
+
+import math
+
+import pytest
+
+from repro.core import BroadcastSystem, ProtocolConfig
+from repro.net import wan_of_lans
+from repro.scenarios import midstream_partition
+from repro.sim import Simulator
+from repro.verify import OpportunityAuditor
+
+
+def build(seed=1, k=2, m=2, **kwargs):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m, backbone="line")
+    system = BroadcastSystem(built, config=ProtocolConfig.for_scale(k * m))
+    return sim, built, system
+
+
+def test_validation():
+    _, _, system = build()
+    with pytest.raises(ValueError):
+        OpportunityAuditor(system, sample_period=0.0)
+    with pytest.raises(ValueError):
+        OpportunityAuditor(system, required_window=0.0)
+
+
+def test_healthy_run_scores_one_on_both_measures():
+    sim, built, system = build()
+    system.start()
+    auditor = OpportunityAuditor(system, sample_period=0.5,
+                                 required_window=5.0).start()
+    system.broadcast_stream(8, interval=0.5, start_at=2.0)
+    assert system.run_until_delivered(8, timeout=120.0)
+    sim.run(until=sim.now + 10.0)
+    report = auditor.report()
+    assert report.relative_reliability == 1.0
+    assert report.absolute_delivery == 1.0
+    assert report.missed == ()
+
+
+def test_permanent_partition_relative_one_absolute_below():
+    """The paper's core distinction: nothing reachable was missed, yet
+    absolute delivery is incomplete."""
+    sim, built, system = build(seed=8, k=3)
+    midstream_partition(built, cluster_index=2, start=5.0, end=10_000.0)
+    system.start()
+    auditor = OpportunityAuditor(system, sample_period=1.0,
+                                 required_window=10.0).start()
+    system.broadcast_stream(10, interval=1.0, start_at=2.0)
+    sim.run(until=100.0)
+    report = auditor.report()
+    assert report.relative_reliability == 1.0
+    assert report.absolute_delivery < 1.0
+    assert report.obligated_pairs < report.total_pairs
+
+
+def test_no_messages_is_nan():
+    sim, built, system = build()
+    system.start()
+    auditor = OpportunityAuditor(system).start()
+    sim.run(until=5.0)
+    report = auditor.report()
+    assert report.total_pairs == 0
+    assert math.isnan(report.relative_reliability)
+    assert math.isnan(report.absolute_delivery)
+
+
+def test_sluggish_protocol_misses_obligations():
+    """A protocol too slow for its windows scores below 1.0 and names
+    the pairs it missed."""
+    from repro.scenarios import BriefWindowSchedule, WindowSpec
+
+    sim, built, system = None, None, None
+    sim = Simulator(seed=16)
+    built = wan_of_lans(sim, clusters=2, hosts_per_cluster=2, backbone="line")
+    BriefWindowSchedule(sim, built, built.backbone,
+                        WindowSpec(period=40.0, width=10.0, first_open=20.0),
+                        until=140.0)
+    config = ProtocolConfig(data_size_bits=4000).scaled(4.0)  # very slow
+    system = BroadcastSystem(built, config=config).start()
+    auditor = OpportunityAuditor(system, sample_period=1.0,
+                                 required_window=6.0).start()
+    system.broadcast_stream(10, interval=0.5, start_at=5.0)
+    sim.run(until=140.0)
+    report = auditor.report()
+    assert report.relative_reliability < 1.0
+    assert len(report.missed) > 0
+    host, seq = report.missed[0]
+    assert host.startswith("h1")  # the cut-off cluster
+    assert 1 <= seq <= 10
+
+
+def test_stop_halts_sampling():
+    sim, built, system = build()
+    system.start()
+    auditor = OpportunityAuditor(system, sample_period=0.5).start()
+    system.broadcast_stream(2, interval=0.5, start_at=1.0)
+    sim.run(until=5.0)
+    auditor.stop()
+    before = dict(auditor._opportunity)
+    sim.run(until=30.0)
+    assert auditor._opportunity == before

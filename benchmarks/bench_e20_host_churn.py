@@ -1,0 +1,20 @@
+"""E20 — Reliability and recovery latency under host churn.
+
+Every non-source host randomly crashes (volatile state lost beyond the
+stable prefix) and recovers while the source streams; all churn heals
+by a fixed horizon.  The tree protocol must deliver at least as large a
+fraction as the basic algorithm under the identical, seed-matched
+churn, with zero stable invariant violations.
+"""
+
+from repro.experiments import run_e20_host_churn
+
+
+def test_e20_host_churn(run_experiment):
+    result = run_experiment(run_e20_host_churn)
+    rows = {(r["protocol"], r["scope"]): r for r in result.rows}
+    tree, basic = rows[("tree", "all")], rows[("basic", "all")]
+    assert tree["crashes"] > 0, tree
+    assert tree["delivered"] >= basic["delivered"], (tree, basic)
+    assert tree["stable_violations"] == 0, tree
+    assert tree["recovery_mean_s"] > 0, tree

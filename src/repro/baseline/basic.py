@@ -51,12 +51,18 @@ class BasicConfig:
     retry_batch_limit: int = 20
     data_size_bits: int = 8_000
     ack_size_bits: int = 1_000
+    #: a crashing receiver keeps its contiguous delivered prefix minus
+    #: this many messages (same stable-storage model as
+    #: :attr:`repro.core.config.ProtocolConfig.crash_stable_lag`)
+    crash_stable_lag: int = 0
 
     def __post_init__(self) -> None:
         if self.retry_period <= 0:
             raise ValueError("retry_period must be positive")
         if self.retry_batch_limit < 1:
             raise ValueError("retry_batch_limit must be at least 1")
+        if self.crash_stable_lag < 0:
+            raise ValueError("crash_stable_lag must be >= 0")
 
 
 class BasicReceiver(BaselineHostBase):
@@ -69,7 +75,17 @@ class BasicReceiver(BaselineHostBase):
         self.config = config
         port.set_receiver(self._on_packet)
 
+    def _stable_prefix(self) -> int:
+        self._flushed_prefix = max(
+            self._flushed_prefix,
+            self.deliveries.contiguous_prefix() - self.config.crash_stable_lag)
+        return self._flushed_prefix
+
     def _on_packet(self, packet: Packet) -> None:
+        if self.crashed:
+            self.sim.trace.emit("host.drop_crashed", str(self.me))
+            self.sim.metrics.counter("proto.host.drop_crashed").inc()
+            return
         payload = packet.payload
         if isinstance(payload, DataMsg):
             self.accept_data(payload, packet.src)
@@ -104,6 +120,30 @@ class BasicSource(BaselineHostBase):
         """Stop periodic activity; safe to call more than once."""
         self._retry_task.stop()
 
+    # -- crash/recovery ------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash the source: retries stop, inbound acks are dropped.
+
+        The outbox (``store``), sequence counter, and unacked set live
+        on stable storage — the same model as the tree protocol's
+        :class:`~repro.core.source.SourceHost` — so recovery resumes
+        retries exactly where they left off.
+        """
+        was_up = not self.crashed
+        super().crash()
+        if was_up:
+            self._retry_task.stop()
+
+    def recover(self) -> None:
+        was_down = self.crashed
+        super().recover()
+        if was_down:
+            # The source delivers its own messages at issue time; the
+            # recovery-time metric is meaningful only for receivers.
+            self._awaiting_recovery_delivery = False
+            self._retry_task.start()
+
     # ------------------------------------------------------------------
 
     def broadcast(self, content: object = None) -> int:
@@ -116,14 +156,20 @@ class BasicSource(BaselineHostBase):
         self.deliveries.record(DeliveryRecord(
             seq=seq, content=content, created_at=self.sim.now,
             delivered_at=self.sim.now, supplier=self.me, via_gapfill=False))
-        self.sim.trace.emit("source.broadcast", str(self.me), seq=seq)
+        self.sim.trace.emit("source.broadcast", str(self.me), seq=seq,
+                            while_crashed=self.crashed)
         self.sim.metrics.counter("proto.source.broadcasts").inc()
         for host in self.receivers:
-            self.port.send(host, msg)
+            if not self.crashed:
+                self.port.send(host, msg)
             self.unacked.add((host, seq))
         return seq
 
     def _on_packet(self, packet: Packet) -> None:
+        if self.crashed:
+            self.sim.trace.emit("host.drop_crashed", str(self.me))
+            self.sim.metrics.counter("proto.host.drop_crashed").inc()
+            return
         payload = packet.payload
         if isinstance(payload, AckMsg):
             self.unacked.discard((payload.sender, payload.seq))
@@ -190,6 +236,18 @@ class BasicBroadcastSystem:
     def stop(self) -> None:
         """Stop periodic activity; safe to call more than once."""
         self.source.stop()
+
+    def crash_host(self, host_id: HostId) -> None:
+        """Crash one host (volatile state lost, silent; idempotent)."""
+        self.hosts[host_id].crash()
+
+    def recover_host(self, host_id: HostId) -> None:
+        """Recover a crashed host (no-op when it is up)."""
+        self.hosts[host_id].recover()
+
+    def crashed_hosts(self) -> List[HostId]:
+        """Hosts currently down, sorted."""
+        return sorted(h for h, host in self.hosts.items() if host.crashed)
 
     def broadcast_stream(
         self,

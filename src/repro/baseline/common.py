@@ -30,6 +30,11 @@ class BaselineHostBase:
         self.me = port.host_id
         self.deliveries = DeliveryLog(self.me, deliver_callback)
         self.store: Dict[int, DataMsg] = {}
+        self.crashed = False
+        self._crashed_at: Optional[float] = None
+        self._awaiting_recovery_delivery = False
+        #: monotone stable-storage flush point; survives crashes
+        self._flushed_prefix = 0
 
     def accept_data(self, msg: DataMsg, supplier: HostId) -> bool:
         """Record a data message; returns False for duplicates."""
@@ -46,4 +51,54 @@ class BaselineHostBase:
         self.sim.metrics.counter("proto.deliver").inc()
         self.sim.metrics.histogram("proto.delay").observe(
             self.sim.now - msg.created_at)
+        if self._awaiting_recovery_delivery:
+            self._awaiting_recovery_delivery = False
+            elapsed = self.sim.now - (self._crashed_at or 0.0)
+            self.sim.metrics.histogram("proto.host.recovery_time").observe(elapsed)
+            self.sim.trace.emit("host.recovery_delivery", str(self.me),
+                                elapsed=elapsed, seq=msg.seq)
         return True
+
+    # -- crash/recovery (failure model parity with the tree hosts) -----
+
+    def _stable_prefix(self) -> int:
+        """What survives a crash; subclasses apply their stable lag.
+
+        Monotone: once flushed, a message cannot be lost by a later
+        crash, so the flush point never moves backward.
+        """
+        self._flushed_prefix = max(self._flushed_prefix,
+                                   self.deliveries.contiguous_prefix())
+        return self._flushed_prefix
+
+    def crash(self) -> None:
+        """Crash this host: volatile state beyond the contiguous stable
+        prefix is lost, and inbound packets are dropped until recovery.
+
+        Uses the same trace events and counters as the tree protocol's
+        :meth:`repro.core.host.BroadcastHost.crash`, so chaos harnesses
+        and experiments account for both protocols uniformly.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._crashed_at = self.sim.now
+        self._awaiting_recovery_delivery = False
+        stable = self._stable_prefix()
+        lost = self.deliveries.forget_above(stable)
+        for seq in [s for s in self.store if s > stable]:
+            del self.store[seq]
+        self.sim.trace.emit("host.crash", str(self.me),
+                            stable_prefix=stable, lost=lost)
+        self.sim.metrics.counter("proto.host.crash").inc()
+
+    def recover(self) -> None:
+        """Recover from a crash; no-op when the host is up."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self._awaiting_recovery_delivery = True
+        down_for = (self.sim.now - self._crashed_at
+                    if self._crashed_at is not None else 0.0)
+        self.sim.trace.emit("host.recover", str(self.me), down_for=down_for)
+        self.sim.metrics.counter("proto.host.recover").inc()

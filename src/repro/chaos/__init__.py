@@ -1,0 +1,36 @@
+"""Chaos orchestration: composable fault injection with a heal horizon.
+
+The network layer (:mod:`repro.net.failures`) injects *network* faults
+— link outages, link churn, server crashes, partitions.  This package
+adds the failure model's third leg, **host** crashes (a crashed host
+loses volatile state and must re-attach and catch up on recovery), and
+a :class:`ChaosPlan` orchestrator that composes all injector kinds from
+one declarative, seed-deterministic spec with a guaranteed heal-by
+horizon — after which every injected fault is provably repaired, so
+tests can assert the paper's eventual-delivery claim.
+"""
+
+from .hosts import HostCrashSchedule, HostFlapper
+from .plan import (
+    ChaosPlan,
+    ChaosSpec,
+    HostChurnSpec,
+    HostOutageSpec,
+    LinkChurnSpec,
+    LinkOutageSpec,
+    PartitionSpec,
+    ServerOutageSpec,
+)
+
+__all__ = [
+    "ChaosPlan",
+    "ChaosSpec",
+    "HostChurnSpec",
+    "HostCrashSchedule",
+    "HostFlapper",
+    "HostOutageSpec",
+    "LinkChurnSpec",
+    "LinkOutageSpec",
+    "PartitionSpec",
+    "ServerOutageSpec",
+]

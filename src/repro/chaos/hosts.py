@@ -1,0 +1,123 @@
+"""Host crash/recovery injectors (the failure model's third leg).
+
+Both injectors drive a broadcast *system*'s ``crash_host`` /
+``recover_host`` lifecycle hooks (duck-typed: the tree protocol's
+:class:`~repro.core.engine.BroadcastSystem` and the baseline systems
+all expose them), so one chaos harness exercises every protocol under
+test.  As with link and server failures, the injection is silent — the
+protocol must discover crashed peers through its own timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..net import HostId
+from ..sim import Simulator
+
+
+class HostCrashSchedule:
+    """Scheduled host crashes and recoveries (chainable, like the link
+    and server schedules in :mod:`repro.net.failures`)."""
+
+    def __init__(self, sim: Simulator, system) -> None:
+        self.sim = sim
+        self.system = system
+
+    def crash(self, time: float, host: HostId) -> "HostCrashSchedule":
+        """Crash ``host`` at ``time`` (chainable)."""
+        self.sim.schedule_at(time, self._apply, host, False)
+        return self
+
+    def recover(self, time: float, host: HostId) -> "HostCrashSchedule":
+        """Recover ``host`` at ``time`` (chainable)."""
+        self.sim.schedule_at(time, self._apply, host, True)
+        return self
+
+    def outage(self, start: float, end: float, host: HostId) -> "HostCrashSchedule":
+        """``host`` is down during [start, end)."""
+        if end <= start:
+            raise ValueError(f"outage end {end} must be after start {start}")
+        return self.crash(start, host).recover(end, host)
+
+    def _apply(self, host: HostId, up: bool) -> None:
+        if up:
+            self.system.recover_host(host)
+        else:
+            self.system.crash_host(host)
+        self.sim.trace.emit("failure.apply", "schedule", host=str(host), up=up)
+        self.sim.metrics.counter(
+            "net.failures.host.up" if up else "net.failures.host.down").inc()
+
+
+class HostFlapper:
+    """Randomly crashes and recovers a set of hosts (host churn).
+
+    Mirrors :class:`repro.net.failures.LinkFlapper`: each managed host
+    alternates up/down with exponentially distributed durations drawn
+    from one dedicated RNG stream, so a given simulator seed yields an
+    identical churn sequence.  The source is excluded by default — pass
+    ``hosts`` explicitly to churn it too.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system,
+        hosts: Optional[Iterable[HostId]] = None,
+        mean_up: float = 30.0,
+        mean_down: float = 5.0,
+        rng_stream: str = "chaos.hostflapper",
+    ) -> None:
+        if mean_up <= 0 or mean_down <= 0:
+            raise ValueError("mean_up and mean_down must be positive")
+        self.sim = sim
+        self.system = system
+        if hosts is None:
+            hosts = [h for h in system.built.hosts if h != system.source_id]
+        self.hosts: List[HostId] = sorted(hosts)
+        if not self.hosts:
+            raise ValueError("HostFlapper needs at least one host to churn")
+        self.mean_up = mean_up
+        self.mean_down = mean_down
+        self._rng = sim.rng.stream(rng_stream)
+        self._running = False
+
+    def start(self) -> "HostFlapper":
+        """Start periodic activity; returns self for chaining."""
+        self._running = True
+        for host in self.hosts:
+            self.sim.schedule(self._rng.expovariate(1.0 / self.mean_up),
+                              self._crash, host)
+        return self
+
+    def stop(self) -> None:
+        """Stop generating new transitions (pending ones are dropped,
+        possibly leaving hosts crashed — see :meth:`heal`)."""
+        self._running = False
+
+    def heal(self) -> None:
+        """Stop and recover every managed host still down.
+
+        This is the flapper's heal-by guarantee: after ``heal()`` no
+        host remains crashed on this flapper's account.
+        """
+        self.stop()
+        for host in self.hosts:
+            self.system.recover_host(host)
+
+    def _crash(self, host: HostId) -> None:
+        if not self._running:
+            return
+        self.system.crash_host(host)
+        self.sim.metrics.counter("net.failures.host.down").inc()
+        self.sim.schedule(self._rng.expovariate(1.0 / self.mean_down),
+                          self._recover, host)
+
+    def _recover(self, host: HostId) -> None:
+        if not self._running:
+            return
+        self.system.recover_host(host)
+        self.sim.metrics.counter("net.failures.host.up").inc()
+        self.sim.schedule(self._rng.expovariate(1.0 / self.mean_up),
+                          self._crash, host)

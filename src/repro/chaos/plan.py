@@ -1,0 +1,177 @@
+"""ChaosPlan: one declarative, seeded spec composing every injector.
+
+A :class:`ChaosSpec` names the faults to inject — host crashes, host
+churn, link outages, link churn, server outages, partitions — plus a
+``heal_by`` horizon.  :class:`ChaosPlan` turns the spec into live
+injectors and **guarantees** that by ``heal_by`` every injected fault
+has been repaired: scheduled outages are validated to end before the
+horizon at construction time, and churners are stopped and force-healed
+when it arrives.  After ``heal_by`` the network is whole and every host
+is up, so a test can assert the paper's reliability claim ("eventually
+deliver all messages to all destinations") without racing the fault
+injection itself.
+
+Determinism: all randomness (the churners') flows from the simulator's
+seeded RNG streams, so a (seed, spec) pair replays the identical fault
+sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..net import (
+    FailureSchedule,
+    HostId,
+    LinkFlapper,
+    PartitionScheduler,
+    ServerOutageSchedule,
+)
+from ..sim import Simulator
+from .hosts import HostCrashSchedule, HostFlapper
+
+
+@dataclass(frozen=True)
+class HostOutageSpec:
+    """Host ``host`` is crashed during [start, end)."""
+
+    host: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class LinkOutageSpec:
+    """Link (a, b) is down during [start, end); windows may overlap."""
+
+    a: str
+    b: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class ServerOutageSpec:
+    """Server ``server`` is down during [start, end)."""
+
+    server: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """The network splits into ``groups`` (node names) during [start, end)."""
+
+    groups: Tuple[Tuple[str, ...], ...]
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class HostChurnSpec:
+    """Exponential up/down churn over ``hosts`` until the heal horizon."""
+
+    hosts: Tuple[str, ...]
+    mean_up: float = 30.0
+    mean_down: float = 5.0
+
+
+@dataclass(frozen=True)
+class LinkChurnSpec:
+    """Exponential up/down churn over ``links`` until the heal horizon."""
+
+    links: Tuple[Tuple[str, str], ...]
+    mean_up: float = 30.0
+    mean_down: float = 5.0
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Everything a chaos run injects, plus the guaranteed heal horizon."""
+
+    heal_by: float
+    host_outages: Tuple[HostOutageSpec, ...] = ()
+    link_outages: Tuple[LinkOutageSpec, ...] = ()
+    server_outages: Tuple[ServerOutageSpec, ...] = ()
+    partitions: Tuple[PartitionSpec, ...] = ()
+    host_churn: Tuple[HostChurnSpec, ...] = ()
+    link_churn: Tuple[LinkChurnSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.heal_by <= 0:
+            raise ValueError("heal_by must be positive")
+        for outage in (*self.host_outages, *self.link_outages,
+                       *self.server_outages, *self.partitions):
+            if outage.end <= outage.start:
+                raise ValueError(f"{outage}: end must be after start")
+            if outage.end > self.heal_by:
+                raise ValueError(
+                    f"{outage}: ends after the heal_by horizon {self.heal_by}")
+        for churn in (*self.host_churn, *self.link_churn):
+            if churn.mean_up <= 0 or churn.mean_down <= 0:
+                raise ValueError(f"{churn}: means must be positive")
+
+
+class ChaosPlan:
+    """Live orchestration of a :class:`ChaosSpec` against one system."""
+
+    def __init__(self, sim: Simulator, system, spec: ChaosSpec,
+                 rng_prefix: str = "chaos") -> None:
+        self.sim = sim
+        self.system = system
+        self.spec = spec
+        self.network = system.network
+        self._rng_prefix = rng_prefix
+        self.healed = False
+        self._host_flappers: List[HostFlapper] = []
+        self._link_flappers: List[LinkFlapper] = []
+        #: links any churner may leave down at the horizon
+        self._churned_links: List[Tuple[str, str]] = []
+
+    def start(self) -> "ChaosPlan":
+        """Install every injector and schedule the heal; returns self."""
+        spec = self.spec
+        if spec.host_outages:
+            hosts = HostCrashSchedule(self.sim, self.system)
+            for outage in spec.host_outages:
+                hosts.outage(outage.start, outage.end, HostId(outage.host))
+        if spec.link_outages:
+            links = FailureSchedule(self.sim, self.network)
+            for outage in spec.link_outages:
+                links.outage(outage.start, outage.end, outage.a, outage.b)
+        if spec.server_outages:
+            servers = ServerOutageSchedule(self.sim, self.network)
+            for outage in spec.server_outages:
+                servers.outage(outage.start, outage.end, outage.server)
+        for outage in spec.partitions:
+            PartitionScheduler(self.sim, self.network).partition(
+                [list(group) for group in outage.groups],
+                outage.start, outage.end)
+        for idx, churn in enumerate(spec.host_churn):
+            self._host_flappers.append(HostFlapper(
+                self.sim, self.system,
+                hosts=[HostId(h) for h in churn.hosts],
+                mean_up=churn.mean_up, mean_down=churn.mean_down,
+                rng_stream=f"{self._rng_prefix}.hosts.{idx}").start())
+        for idx, churn in enumerate(spec.link_churn):
+            self._link_flappers.append(LinkFlapper(
+                self.sim, self.network, churn.links,
+                mean_up=churn.mean_up, mean_down=churn.mean_down,
+                rng_stream=f"{self._rng_prefix}.links.{idx}").start())
+            self._churned_links.extend(churn.links)
+        self.sim.schedule_at(self.spec.heal_by, self._heal)
+        self.sim.trace.emit("chaos.start", "plan", heal_by=self.spec.heal_by)
+        return self
+
+    def _heal(self) -> None:
+        """The heal-by guarantee: stop churners, repair everything."""
+        for flapper in self._host_flappers:
+            flapper.heal()
+        for flapper in self._link_flappers:
+            flapper.stop()
+        for a, b in self._churned_links:
+            self.network.set_link_state(a, b, up=True)
+        self.healed = True
+        self.sim.trace.emit("chaos.healed", "plan")

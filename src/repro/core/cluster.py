@@ -39,6 +39,18 @@ class ClusterView:
             # DYNAMIC starts from the paper's initialization CLUSTER_i = {i};
             # SINGLETON stays there forever.
             self._members = {me}
+        self._static_members = set(self._members)
+
+    def reset(self) -> None:
+        """Return to the post-initialization state (host crash recovery).
+
+        STATIC knowledge is a-priori configuration and survives; the
+        DYNAMIC view is volatile learned state and restarts at {me}.
+        """
+        if self.mode is ClusterMode.STATIC:
+            self._members = set(self._static_members)
+        else:
+            self._members = {self.me}
 
     # ------------------------------------------------------------------
 

@@ -127,6 +127,14 @@ class ProtocolConfig:
     #: prune INFO sets once all hosts are known to have a prefix (Section 6)
     enable_info_pruning: bool = True
 
+    # -- host crash/recovery (failure model, §2/§4) ------------------------------
+    #: a crashing host keeps only messages already flushed to stable
+    #: storage: the contiguous delivered prefix minus the most recent
+    #: ``crash_stable_lag`` messages (writes are flushed in order, the
+    #: newest may still be buffered).  0 = the whole contiguous prefix
+    #: survives; everything above the prefix is always volatile and lost.
+    crash_stable_lag: int = 0
+
     # -- message sizes -----------------------------------------------------------
     #: application data message size in bits
     data_size_bits: int = 8_000
@@ -166,6 +174,8 @@ class ProtocolConfig:
             raise ValueError("transit_spread_factor must exceed 1")
         if self.piggyback_window <= 0:
             raise ValueError("piggyback_window must be positive")
+        if self.crash_stable_lag < 0:
+            raise ValueError("crash_stable_lag must be non-negative")
         if self.data_size_bits < 1 or self.control_size_bits < 1:
             raise ValueError("message sizes must be positive")
 

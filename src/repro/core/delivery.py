@@ -54,6 +54,26 @@ class DeliveryLog:
         if self._callback is not None:
             self._callback(self.owner, record)
 
+    def forget_above(self, n: int) -> int:
+        """Drop records with seq > ``n`` (host-crash modeling).
+
+        A crashing host loses the delivered messages the application had
+        not yet flushed to stable storage; after recovery those sequence
+        numbers are legitimately delivered a second time.  Returns how
+        many records were forgotten.
+        """
+        lost = [seq for seq in self._records if seq > n]
+        for seq in lost:
+            del self._records[seq]
+        return len(lost)
+
+    def contiguous_prefix(self) -> int:
+        """Largest n such that messages 1..n are all delivered."""
+        n = 0
+        while (n + 1) in self._records:
+            n += 1
+        return n
+
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:

@@ -114,6 +114,18 @@ class BroadcastSystem:
         for host in self.hosts.values():
             host.stop()
 
+    def crash_host(self, host_id: HostId) -> None:
+        """Crash one host (volatile state lost, silent; idempotent)."""
+        self.hosts[host_id].crash()
+
+    def recover_host(self, host_id: HostId) -> None:
+        """Recover a crashed host (no-op when it is up)."""
+        self.hosts[host_id].recover()
+
+    def crashed_hosts(self) -> List[HostId]:
+        """Hosts currently down, sorted."""
+        return sorted(h for h, host in self.hosts.items() if host.crashed)
+
     def broadcast_stream(
         self,
         count: int,

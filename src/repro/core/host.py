@@ -83,6 +83,13 @@ class BroadcastHost:
         self._attempt_counter = itertools.count(1)
         self._pending: Optional[_PendingAttach] = None
         self._started = False
+        self._static_cluster = static_cluster
+        #: host-crash state (see crash()/recover())
+        self.crashed = False
+        self._crashed_at: Optional[float] = None
+        self._awaiting_recovery_delivery = False
+        #: monotone stable-storage flush point; survives crashes
+        self._flushed_prefix = 0
         #: (target -> seq -> last fill time); bounds duplicate gap fills
         self._recent_fills: Dict[HostId, Dict[int, float]] = {}
         #: when each current child was (re)registered — reconcile grace
@@ -147,12 +154,95 @@ class BroadcastHost:
         return self
 
     def stop(self) -> None:
-        """Halt all periodic activity and timers (end of simulation)."""
+        """Halt all periodic activity and timers.
+
+        ``stop``/``start`` form a safe restart pair (crash recovery
+        depends on it): an attach handshake in flight is abandoned here,
+        because its ack timer dies with us — keeping ``_pending`` armed
+        would block every future attachment tick forever.
+        """
         self._started = False
         for task in self._tasks:
             task.stop()
         self._ack_timer.cancel()
         self._parent_timer.cancel()
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    # Host crash / recovery (the failure model's third leg)
+    # ------------------------------------------------------------------
+
+    def _stable_prefix(self) -> int:
+        """Highest seqno guaranteed to survive a crash of this host.
+
+        Stable storage flushes delivered messages in order: the
+        contiguous prefix survives, minus the ``crash_stable_lag``
+        newest entries that may still sit in the write buffer.  The
+        flush point is monotone — a message that survived one crash is
+        on disk and cannot be lost by a later crash, so repeated
+        crashes never ratchet the prefix below its high-water mark.
+        The pruned INFO prefix is always stable — pruning only happens
+        once every participant provably holds those messages.
+        """
+        self._flushed_prefix = max(
+            self._flushed_prefix, self.info.floor,
+            self.info.contiguous_prefix() - self.config.crash_stable_lag)
+        return self._flushed_prefix
+
+    def crash(self) -> None:
+        """Crash this host: volatile state is lost, silence follows.
+
+        Per the paper's failure model, the crash is *undetected* — no
+        DetachNotice is sent; parent and children must discover the
+        failure through their own timeouts.  Everything except the
+        stable message prefix is wiped: MAP/parent-pointer views, the
+        learned CLUSTER set, the parent pointer, CHILDREN, pending
+        attach state, gap-fill bookkeeping, and the transit-time
+        classifier's calibration.  Inbound packets are dropped until
+        :meth:`recover`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._crashed_at = self.sim.now
+        self._awaiting_recovery_delivery = False
+        self.stop()
+        stable = self._stable_prefix()
+        lost_info = self.info.max_seqno - stable if self.info.max_seqno > stable else 0
+        self.info.truncate_above(stable)
+        for seq in [s for s in self.store if s > stable]:
+            del self.store[seq]
+        self.deliveries.forget_above(stable)
+        self.maps = MapState(self.me, self.info)
+        self.cluster.reset()
+        self.parent = None
+        self.children.clear()
+        self._child_since.clear()
+        self._recent_fills.clear()
+        self._parent_progress_at = 0.0
+        self._cost_classifier = TransitTimeClassifier(
+            spread_factor=self.config.transit_spread_factor)
+        self.sim.trace.emit("host.crash", str(self.me), stable_prefix=stable,
+                            lost=lost_info)
+        self.sim.metrics.counter("proto.host.crash").inc()
+
+    def recover(self) -> None:
+        """Recover from a crash: restart as a fresh orphan.
+
+        Periodic tasks re-arm and the next attachment tick re-enters the
+        attachment procedure as case I (no parent, empty views); gaps
+        against the stable prefix are repaired by neighbor and
+        cross-cluster gap filling once re-attached.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self._awaiting_recovery_delivery = True
+        self.start()
+        down_for = (self.sim.now - self._crashed_at
+                    if self._crashed_at is not None else 0.0)
+        self.sim.trace.emit("host.recover", str(self.me), down_for=down_for)
+        self.sim.metrics.counter("proto.host.recover").inc()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -180,6 +270,13 @@ class BroadcastHost:
     # ------------------------------------------------------------------
 
     def _on_packet(self, packet: Packet) -> None:
+        if self.crashed:
+            # A crashed host neither processes nor acknowledges anything;
+            # the packet is lost exactly as if the host were powered off.
+            self.sim.trace.emit("host.drop_crashed", str(self.me),
+                                src=str(packet.src), payload_kind=packet.kind)
+            self.sim.metrics.counter("proto.host.drop_crashed").inc()
+            return
         sender = packet.src
         self.cluster.observe(sender, self._expensive_delivery(packet))
         if sender == self.parent:
@@ -249,6 +346,14 @@ class BroadcastHost:
         metrics = self.sim.metrics
         metrics.counter("proto.deliver").inc()
         metrics.histogram("proto.delay").observe(self.sim.now - msg.created_at)
+        if self._awaiting_recovery_delivery:
+            # First delivery after a crash: the recovery-time metric the
+            # chaos experiments report (crash -> first post-recovery data).
+            self._awaiting_recovery_delivery = False
+            elapsed = self.sim.now - (self._crashed_at or 0.0)
+            metrics.histogram("proto.host.recovery_time").observe(elapsed)
+            self.sim.trace.emit("host.recovery_delivery", str(self.me),
+                                elapsed=elapsed, seq=msg.seq)
         if new_max:
             # Normal propagation: push to all children.
             for child in sorted(self.children):
@@ -320,14 +425,23 @@ class BroadcastHost:
         self._maybe_prune()
 
     def _maybe_prune(self) -> None:
-        """Section 6: prune 1..n once every participant is known to have it."""
+        """Section 6: prune 1..n once every participant is known to have it.
+
+        The paper's pruning argument assumes a host that received a
+        message keeps it forever; with host crashes that is only true of
+        the stable prefix.  A host advertising contiguous prefix p can
+        roll back to p − crash_stable_lag, so pruning stays that margin
+        behind the global minimum — otherwise a post-prune crash leaves
+        a message no store in the network still holds.
+        """
         if not self.config.enable_info_pruning or not self.participants:
             return
         prefix = self.info.contiguous_prefix()
         for j in self.participants:
             prefix = min(prefix, self.maps.authoritative_prefix(j))
-            if prefix <= self.info.floor:
+            if prefix - self.config.crash_stable_lag <= self.info.floor:
                 return
+        prefix -= self.config.crash_stable_lag
         self.info.prune_through(prefix)
         for seq in [s for s in self.store if s <= prefix]:
             del self.store[seq]

@@ -93,6 +93,22 @@ class SeqnoSet:
             any_new |= self.add_range(lo, hi)
         return any_new
 
+    def truncate_above(self, n: int) -> None:
+        """Remove every member greater than ``n`` (host-crash modeling).
+
+        The pruned prefix is implicit storage and cannot be truncated:
+        ``n`` below ``floor`` raises ``ValueError``.
+        """
+        if n < self._floor:
+            raise ValueError(
+                f"cannot truncate above {n}: pruned prefix reaches {self._floor}")
+        new_ranges = []
+        for lo, hi in self._ranges:
+            if lo > n:
+                break
+            new_ranges.append([lo, min(hi, n)])
+        self._ranges = new_ranges
+
     def prune_through(self, n: int) -> None:
         """Forget explicit storage for 1..n (they remain members).
 

@@ -39,6 +39,13 @@ class SourceHost(BroadcastHost):
     def _attachment_tick(self) -> None:  # pragma: no cover - never scheduled
         raise AssertionError("the source does not run the attachment procedure")
 
+    def _stable_prefix(self) -> int:
+        """The source's own stream is its stable outbox (Section 4.1:
+        INFO_s is updated *when a message is generated*), so a source
+        crash loses volatile protocol state — views, CHILDREN — but
+        never the messages it originated or its sequence counter."""
+        return self.info.max_seqno
+
     # ------------------------------------------------------------------
 
     @property
@@ -64,8 +71,12 @@ class SourceHost(BroadcastHost):
         self.deliveries.record(DeliveryRecord(
             seq=seq, content=content, created_at=self.sim.now,
             delivered_at=self.sim.now, supplier=self.me, via_gapfill=False))
-        self.sim.trace.emit("source.broadcast", str(self.me), seq=seq)
+        self.sim.trace.emit("source.broadcast", str(self.me), seq=seq,
+                            while_crashed=self.crashed)
         self.sim.metrics.counter("proto.source.broadcasts").inc()
-        for child in sorted(self.children):
-            self._send_data(child, seq, gapfill=False)
+        if not self.crashed:
+            # While crashed, the message sits in the stable outbox only;
+            # hosts catch up via gap filling once the source recovers.
+            for child in sorted(self.children):
+                self._send_data(child, seq, gapfill=False)
         return seq

@@ -8,7 +8,7 @@ the paper, failures and repairs are undetected by the application.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..sim import Simulator
 from .addressing import HostId, LinkId
@@ -26,12 +26,21 @@ class LinkStateChange:
 
 
 class FailureSchedule:
-    """A list of link-state changes applied at their times."""
+    """A list of link-state changes applied at their times.
+
+    Overlapping ``outage`` windows on the same link compose correctly:
+    the schedule keeps a per-link *down-depth* count, and the link is up
+    only while no scheduled outage covers it.  (Naive down/up toggling
+    would repair the link at the *first* outage's end even though a
+    second, longer outage was still in force.)  An ``up`` with no
+    matching ``down`` clamps at depth 0 and is a harmless no-op repair.
+    """
 
     def __init__(self, sim: Simulator, network: Network) -> None:
         self.sim = sim
         self.network = network
         self.changes: List[LinkStateChange] = []
+        self._down_depth: Dict[LinkId, int] = {}
 
     def at(self, time: float, a: str, b: str, up: bool) -> "FailureSchedule":
         """Schedule one change (chainable)."""
@@ -49,15 +58,22 @@ class FailureSchedule:
         return self.at(time, a, b, up=True)
 
     def outage(self, start: float, end: float, a: str, b: str) -> "FailureSchedule":
-        """Link (a, b) is down during [start, end)."""
+        """Link (a, b) is down during [start, end); windows may overlap."""
         if end <= start:
             raise ValueError(f"outage end {end} must be after start {start}")
         return self.down(start, a, b).up(end, a, b)
 
     def _apply(self, change: LinkStateChange) -> None:
-        self.network.set_link_state(change.a, change.b, change.up)
+        link_id = LinkId.of(change.a, change.b)
+        depth = self._down_depth.get(link_id, 0)
+        depth = max(0, depth - 1) if change.up else depth + 1
+        self._down_depth[link_id] = depth
+        up = depth == 0
+        self.network.set_link_state(change.a, change.b, up)
         self.sim.trace.emit("failure.apply", "schedule", a=change.a, b=change.b,
-                            up=change.up)
+                            up=up, depth=depth)
+        self.sim.metrics.counter(
+            "net.failures.link.up" if up else "net.failures.link.down").inc()
 
 
 class LinkFlapper:
@@ -118,6 +134,9 @@ class ServerOutageSchedule:
 
     Drives :meth:`repro.net.topology.Network.set_server_state` on the
     simulator's clock; as with links, the application is never told.
+    Every applied change emits the same ``failure.apply`` trace event as
+    :class:`FailureSchedule` and bumps ``net.failures.server.*``
+    counters, so chaos runs are debuggable from traces alone.
     """
 
     def __init__(self, sim: Simulator, network: Network) -> None:
@@ -126,12 +145,12 @@ class ServerOutageSchedule:
 
     def crash(self, time: float, server: str) -> "ServerOutageSchedule":
         """Crash ``server`` at ``time`` (chainable)."""
-        self.sim.schedule_at(time, self.network.set_server_state, server, False)
+        self.sim.schedule_at(time, self._apply, server, False)
         return self
 
     def repair(self, time: float, server: str) -> "ServerOutageSchedule":
         """Repair ``server`` at ``time`` (chainable)."""
-        self.sim.schedule_at(time, self.network.set_server_state, server, True)
+        self.sim.schedule_at(time, self._apply, server, True)
         return self
 
     def outage(self, start: float, end: float,
@@ -140,6 +159,12 @@ class ServerOutageSchedule:
         if end <= start:
             raise ValueError(f"outage end {end} must be after start {start}")
         return self.crash(start, server).repair(end, server)
+
+    def _apply(self, server: str, up: bool) -> None:
+        self.network.set_server_state(server, up)
+        self.sim.trace.emit("failure.apply", "schedule", server=server, up=up)
+        self.sim.metrics.counter(
+            "net.failures.server.up" if up else "net.failures.server.down").inc()
 
 
 def cut_links_between(

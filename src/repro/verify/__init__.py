@@ -12,6 +12,7 @@ from .invariants import (
     true_leaders,
 )
 from .liveness import OpportunityAuditor, ReliabilityReport
+from .monitor import InvariantMonitor, MonitorReport, ViolationSpan
 from .oracle import run_to_quiescence
 
 __all__ = [
@@ -23,8 +24,11 @@ __all__ = [
     "check_no_harmful_cycles",
     "check_single_leader_per_cluster",
     "find_parent_cycles",
+    "InvariantMonitor",
+    "MonitorReport",
     "OpportunityAuditor",
     "ReliabilityReport",
     "run_to_quiescence",
     "true_leaders",
+    "ViolationSpan",
 ]

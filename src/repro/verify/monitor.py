@@ -1,0 +1,178 @@
+"""Online invariant monitoring: sample §4.3 invariants *during* a run.
+
+The checkers in :mod:`repro.verify.invariants` are end-of-run oracles.
+Under chaos they are too blunt: a violation that appears while a host
+is mid-recovery and disappears two samples later is expected transient
+behaviour, while one that persists after the network heals is a real
+protocol bug.  :class:`InvariantMonitor` samples the safety invariants
+(harmful parent cycles, INFO dominance) every ``sample_period``, keys
+each violation structurally (host ids, not message strings whose
+embedded maxima change every tick), and tracks how long each one has
+been continuously present.  A violation is **stable** once its streak
+reaches ``stable_window``; everything shorter is transient.
+
+The monitor also watches ``host.recovery_delivery`` trace events so a
+chaos run's report carries per-host recovery times (crash → first
+post-recovery delivery) without re-scanning the trace.
+
+Like all of :mod:`repro.verify`, this is an oracle: it reads ground
+truth the protocol never sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.engine import BroadcastSystem
+from ..sim import PeriodicTask
+from .invariants import find_parent_cycles
+
+#: structural violation key: ("harmful_cycle", h1, h2, ...) or
+#: ("info_dominance", child, parent)
+ViolationKey = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ViolationSpan:
+    """One continuous stretch during which a violation was observed."""
+
+    key: ViolationKey
+    first_seen: float
+    last_seen: float
+    stable: bool
+
+    @property
+    def duration(self) -> float:
+        return self.last_seen - self.first_seen
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """Everything an :class:`InvariantMonitor` observed."""
+
+    samples: int
+    spans: Tuple[ViolationSpan, ...]
+    #: (host, recovery seconds) per observed post-recovery first delivery
+    recoveries: Tuple[Tuple[str, float], ...]
+
+    @property
+    def stable_violations(self) -> Tuple[ViolationSpan, ...]:
+        """Violations that persisted for at least the stable window."""
+        return tuple(s for s in self.spans if s.stable)
+
+    @property
+    def transient_violations(self) -> Tuple[ViolationSpan, ...]:
+        return tuple(s for s in self.spans if not s.stable)
+
+    @property
+    def clean(self) -> bool:
+        """True when no violation ever became stable."""
+        return not self.stable_violations
+
+    def recovery_times(self) -> List[float]:
+        return [seconds for _, seconds in self.recoveries]
+
+
+class InvariantMonitor:
+    """Periodically samples safety invariants over a live system."""
+
+    def __init__(
+        self,
+        system: BroadcastSystem,
+        sample_period: float = 1.0,
+        stable_window: float = 20.0,
+    ) -> None:
+        if sample_period <= 0 or stable_window <= 0:
+            raise ValueError("sample_period and stable_window must be positive")
+        self.system = system
+        self.sim = system.sim
+        self.sample_period = sample_period
+        self.stable_window = stable_window
+        self._samples = 0
+        #: key -> first_seen time of the *current* streak
+        self._active: Dict[ViolationKey, float] = {}
+        #: closed streaks
+        self._spans: List[ViolationSpan] = []
+        self._recoveries: List[Tuple[str, float]] = []
+        self._trace_cursor = 0
+        self._task = PeriodicTask(
+            self.sim, sample_period, self._sample,
+            rng_stream="verify.monitor", name="invariant_monitor")
+
+    def start(self) -> "InvariantMonitor":
+        """Start periodic activity; returns self for chaining."""
+        self._task.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop periodic activity; safe to call more than once."""
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+
+    def _current_violations(self) -> List[ViolationKey]:
+        system = self.system
+        keys: List[ViolationKey] = []
+        for cycle in find_parent_cycles(system):
+            cycle_max = max(system.hosts[h].info.max_seqno for h in cycle)
+            harmful = any(
+                system.hosts[other].info.max_seqno > cycle_max
+                and any(system.network.reachable(member, other)
+                        for member in cycle)
+                for other in system.built.hosts if other not in cycle)
+            if harmful:
+                keys.append(("harmful_cycle",
+                             *sorted(str(h) for h in cycle)))
+        for child_id, parent_id in system.parent_edges().items():
+            if parent_id is None or parent_id not in system.hosts:
+                continue
+            if (system.hosts[child_id].info.max_seqno
+                    > system.hosts[parent_id].info.max_seqno):
+                keys.append(("info_dominance", str(child_id), str(parent_id)))
+        return keys
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        self._samples += 1
+        current = set(self._current_violations())
+        for key in current:
+            if key not in self._active:
+                self._active[key] = now
+                self.sim.trace.emit("monitor.violation", "monitor",
+                                    key="/".join(key))
+        for key in [k for k in self._active if k not in current]:
+            self._close(key, ended=now)
+        self._drain_recoveries()
+
+    def _close(self, key: ViolationKey, ended: float) -> None:
+        first = self._active.pop(key)
+        # Streak length counts the last sample it was still present, one
+        # period before the sample that saw it gone (or the stop time).
+        last = max(first, ended - self.sample_period)
+        self._spans.append(ViolationSpan(
+            key=key, first_seen=first, last_seen=last,
+            stable=(last - first) >= self.stable_window))
+
+    def _drain_recoveries(self) -> None:
+        records = self.sim.trace.records(kind="host.recovery_delivery")
+        for record in records[self._trace_cursor:]:
+            self._recoveries.append(
+                (record.source, record.fields["elapsed"]))
+        self._trace_cursor = len(records)
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> MonitorReport:
+        """Close open streaks against the current clock and report."""
+        self._drain_recoveries()
+        now = self.sim.now
+        spans = list(self._spans)
+        for key, first in self._active.items():
+            spans.append(ViolationSpan(
+                key=key, first_seen=first, last_seen=now,
+                stable=(now - first) >= self.stable_window))
+        return MonitorReport(
+            samples=self._samples,
+            spans=tuple(sorted(spans, key=lambda s: (s.first_seen, s.key))),
+            recoveries=tuple(self._recoveries))

@@ -1,0 +1,94 @@
+"""Crash/recovery semantics of the basic algorithm.
+
+The decisive difference from the tree protocol: a message a receiver
+*acknowledged* and then lost in a crash is gone for good — the source
+already discarded its unacked entry and never retransmits.
+"""
+
+import pytest
+
+from repro.baseline import BasicBroadcastSystem, BasicConfig
+from repro.net import HostId, wan_of_lans
+from repro.sim import Simulator
+
+
+def build_system(seed=1, k=2, m=2, **overrides):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m, backbone="line",
+                        convergence_delay=0.0)
+    system = BasicBroadcastSystem(built, config=BasicConfig(**overrides))
+    return sim, built, system.start()
+
+
+def test_crash_host_api_and_trace_parity():
+    sim, built, system = build_system()
+    victim = HostId("h1.0")
+    system.crash_host(victim)
+    assert system.crashed_hosts() == [victim]
+    system.recover_host(victim)
+    assert system.crashed_hosts() == []
+    assert sim.trace.count("host.crash") == 1
+    assert sim.trace.count("host.recover") == 1
+    assert sim.metrics.counter("proto.host.crash").value == 1
+
+
+def test_crashed_receiver_drops_and_does_not_ack():
+    sim, built, system = build_system()
+    victim = HostId("h0.1")
+    system.crash_host(victim)
+    system.broadcast_stream(3, interval=0.5, start_at=1.0)
+    sim.run(until=10.0)
+    assert len(system.hosts[victim].deliveries) == 0
+    assert sim.metrics.counter("proto.host.drop_crashed").value > 0
+    # The source keeps retrying the unacked copies...
+    assert any(pair[0] == victim for pair in system.source.unacked)
+    # ...so after recovery the stream completes.
+    system.recover_host(victim)
+    assert system.run_until_delivered(3, timeout=120.0)
+
+
+def test_acked_then_lost_messages_are_never_retransmitted():
+    """With a stable lag, a crash discards recently acked messages; the
+    basic source has no record of the loss and never resends them."""
+    sim, built, system = build_system(crash_stable_lag=2)
+    victim = HostId("h1.1")
+    system.broadcast_stream(6, interval=0.5, start_at=1.0)
+    assert system.run_until_delivered(6, timeout=120.0)
+    sim.run(until=sim.now + 30.0)  # drain in-flight retransmissions
+    assert not system.source.unacked  # everything acked
+    system.crash_host(victim)
+    host = system.hosts[victim]
+    assert len(host.deliveries) == 4  # 5 and 6 lost with the crash
+    system.recover_host(victim)
+    sim.run(until=sim.now + 120.0)
+    # Permanent loss: the acked-then-lost tail never comes back.
+    assert 5 not in host.deliveries and 6 not in host.deliveries
+
+
+def test_source_crash_pauses_retries_and_outbox_survives():
+    sim, built, system = build_system()
+    source = system.source
+    sim.schedule_at(1.5, source.crash)
+    sim.schedule_at(8.0, source.recover)
+    system.broadcast_stream(5, interval=1.0, start_at=1.0)
+    assert system.run_until_delivered(5, timeout=200.0)
+    crashed_issues = [r for r in sim.trace.records(kind="source.broadcast")
+                      if r.fields["while_crashed"]]
+    assert crashed_issues  # issued to the stable outbox while down
+
+
+def test_recovery_time_is_measured():
+    sim, built, system = build_system()
+    victim = HostId("h1.0")
+    system.broadcast_stream(6, interval=1.0, start_at=1.0)
+    sim.schedule_at(2.0, lambda: system.crash_host(victim))
+    sim.schedule_at(6.0, lambda: system.recover_host(victim))
+    assert system.run_until_delivered(6, timeout=200.0)
+    recoveries = sim.trace.records(kind="host.recovery_delivery")
+    assert [r.source for r in recoveries] == [str(victim)]
+    assert sim.metrics.histogram("proto.host.recovery_time").count == 1
+
+
+def test_crash_stable_lag_validated():
+    with pytest.raises(ValueError):
+        BasicConfig(crash_stable_lag=-1)

@@ -1,0 +1,133 @@
+"""Tests for the ChaosPlan orchestrator and its declarative spec."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosPlan,
+    ChaosSpec,
+    HostChurnSpec,
+    HostOutageSpec,
+    LinkChurnSpec,
+    LinkOutageSpec,
+    PartitionSpec,
+    ServerOutageSpec,
+)
+from repro.core import BroadcastSystem, ProtocolConfig
+from repro.net import wan_of_lans
+from repro.sim import Simulator
+
+
+def build_system(seed=1, k=3, m=2, backbone="ring"):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m,
+                        backbone=backbone, convergence_delay=0.0)
+    system = BroadcastSystem(built, config=ProtocolConfig.for_scale(k * m))
+    return sim, built, system.start()
+
+
+def test_spec_rejects_outage_past_heal_by():
+    with pytest.raises(ValueError):
+        ChaosSpec(heal_by=10.0,
+                  host_outages=(HostOutageSpec("h0.1", 5.0, 12.0),))
+    with pytest.raises(ValueError):
+        ChaosSpec(heal_by=10.0,
+                  link_outages=(LinkOutageSpec("s0", "s1", 5.0, 11.0),))
+
+
+def test_spec_rejects_bad_windows_and_means():
+    with pytest.raises(ValueError):
+        ChaosSpec(heal_by=0.0)
+    with pytest.raises(ValueError):
+        ChaosSpec(heal_by=10.0,
+                  server_outages=(ServerOutageSpec("s0", 5.0, 5.0),))
+    with pytest.raises(ValueError):
+        ChaosSpec(heal_by=10.0,
+                  host_churn=(HostChurnSpec(("h0.1",), mean_up=0.0),))
+
+
+def test_plan_applies_scheduled_outages():
+    sim, built, system = build_system()
+    spec = ChaosSpec(
+        heal_by=20.0,
+        host_outages=(HostOutageSpec("h1.0", 2.0, 6.0),),
+        server_outages=(ServerOutageSpec("s2", 3.0, 7.0),),
+        link_outages=(LinkOutageSpec("s0", "s1", 4.0, 8.0),),
+    )
+    ChaosPlan(sim, system, spec).start()
+    sim.run(until=5.0)
+    assert [str(h) for h in system.crashed_hosts()] == ["h1.0"]
+    assert not built.network.servers["s2"].up
+    assert not built.network.link("s0", "s1").up
+    sim.run(until=9.0)
+    assert system.crashed_hosts() == []
+    assert built.network.servers["s2"].up
+    assert built.network.link("s0", "s1").up
+
+
+def test_plan_partition_spec():
+    sim, built, system = build_system(k=3, m=1, backbone="line")
+    groups = (("s0", "h0.0"), ("s1", "s2", "h1.0", "h2.0"))
+    spec = ChaosSpec(heal_by=20.0,
+                     partitions=(PartitionSpec(groups, 2.0, 6.0),))
+    ChaosPlan(sim, system, spec).start()
+    sim.run(until=3.0)
+    assert len(built.network.partitions()) == 2
+    sim.run(until=7.0)
+    assert len(built.network.partitions()) == 1
+
+
+def test_plan_heals_churn_by_horizon():
+    sim, built, system = build_system()
+    hosts = tuple(str(h) for h in built.hosts if h != system.source_id)
+    links = tuple((a, b) for a, b in built.backbone)
+    spec = ChaosSpec(
+        heal_by=30.0,
+        host_churn=(HostChurnSpec(hosts, mean_up=4.0, mean_down=3.0),),
+        link_churn=(LinkChurnSpec(links, mean_up=4.0, mean_down=3.0),),
+    )
+    plan = ChaosPlan(sim, system, spec).start()
+    sim.run(until=31.0)
+    assert plan.healed
+    assert system.crashed_hosts() == []
+    assert all(link.up for link in built.network.links.values())
+    # Healed means healed: no further churn transitions ever fire.
+    crashes = sim.metrics.counter("proto.host.crash").value
+    sim.run(until=120.0)
+    assert system.crashed_hosts() == []
+    assert sim.metrics.counter("proto.host.crash").value == crashes
+    assert all(link.up for link in built.network.links.values())
+
+
+def test_plan_is_deterministic_per_seed():
+    hosts = ("h0.1", "h1.0", "h1.1")
+
+    def fault_trace(seed):
+        sim, built, system = build_system(seed=seed)
+        links = tuple((a, b) for a, b in built.backbone)
+        spec = ChaosSpec(
+            heal_by=40.0,
+            host_churn=(HostChurnSpec(hosts, mean_up=5.0, mean_down=2.0),),
+            link_churn=(LinkChurnSpec(links, mean_up=5.0, mean_down=2.0),),
+        )
+        ChaosPlan(sim, system, spec).start()
+        sim.run(until=41.0)
+        return [(round(r.time, 9), r.kind, r.source)
+                for r in sim.trace.records(kind="host.crash")]
+
+    first = fault_trace(5)
+    assert first  # churn actually happened
+    assert first == fault_trace(5)
+    assert first != fault_trace(6)
+
+
+def test_plan_delivers_full_stream_after_heal():
+    sim, built, system = build_system()
+    hosts = tuple(str(h) for h in built.hosts if h != system.source_id)
+    spec = ChaosSpec(
+        heal_by=25.0,
+        host_churn=(HostChurnSpec(hosts, mean_up=8.0, mean_down=3.0),),
+    )
+    ChaosPlan(sim, system, spec).start()
+    system.broadcast_stream(10, interval=1.0, start_at=1.0)
+    sim.run(until=26.0)
+    assert system.run_until_delivered(10, timeout=400.0)

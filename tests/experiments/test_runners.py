@@ -149,6 +149,26 @@ def test_e11_invariants_hold_on_figure_3_2():
     assert all(row["violations"] == 0 for row in result.rows)
 
 
+def test_e20_tree_at_least_as_reliable_under_host_churn():
+    from repro.experiments import run_e20_host_churn
+
+    result = run_e20_host_churn(n=10, heal_by=30.0, mean_up=12.0,
+                                mean_down=4.0, horizon=200.0)
+    (tree_all,) = rows_by(result, protocol="tree", scope="all")
+    (basic_all,) = rows_by(result, protocol="basic", scope="all")
+    assert tree_all["crashes"] > 0  # churn actually happened
+    assert tree_all["delivered"] >= basic_all["delivered"]
+    assert tree_all["stable_violations"] == 0
+    # Per-host recovery breakdown is reported alongside the totals.
+    per_host = rows_by(result, protocol="tree")
+    assert len(per_host) > 1
+    recovered = [r for r in per_host if r["scope"] != "all"
+                 and not math.isnan(r["recovery_mean_s"])]
+    assert recovered
+    assert all(r["recovery_mean_s"] <= r["recovery_max_s"] + 1e-9
+               for r in recovered)
+
+
 def test_e12_tree_cheapest_on_inter_cluster_traffic():
     result = run_e12_epidemic(n=10, warmup=3)
     by_protocol = {r["protocol"]: r for r in result.rows}

@@ -8,14 +8,16 @@ network stays connected.  This is the paper's core reliability claim
 a whole space of adversarial-but-fair runs.
 """
 
-import dataclasses
+import os
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.chaos import ChaosPlan, ChaosSpec, HostChurnSpec, LinkChurnSpec
 from repro.core import BroadcastSystem, ProtocolConfig
 from repro.net import FailureSchedule, cheap_spec, expensive_spec, wan_of_lans
 from repro.sim import Simulator
+from repro.verify import InvariantMonitor
 
 #: random outages: (backbone link index, start, duration)
 outage_strategy = st.tuples(
@@ -24,7 +26,10 @@ outage_strategy = st.tuples(
     st.floats(min_value=1.0, max_value=10.0),
 )
 
-CHAOS_SETTINGS = settings(max_examples=12, deadline=None)
+#: CI's non-blocking chaos job raises this for a deeper sweep
+CHAOS_SETTINGS = settings(
+    max_examples=int(os.environ.get("CHAOS_MAX_EXAMPLES", "12")),
+    deadline=None)
 
 
 @CHAOS_SETTINGS
@@ -36,10 +41,10 @@ def test_eventual_delivery_despite_backbone_outages(seed, outages):
     schedule = FailureSchedule(sim, built.network)
     for link_index, start, duration in outages:
         a, b = built.backbone[link_index % len(built.backbone)]
-        # Overlapping windows on the same link would double-toggle; give
-        # each outage its own idempotent down/up pair.
-        schedule.down(start, a, b)
-        schedule.up(start + duration, a, b)
+        # Overlapping windows on the same link compose: the schedule
+        # counts down-depth, so the link is up only once every covering
+        # outage has ended.
+        schedule.outage(start, start + duration, a, b)
     system = BroadcastSystem(built, config=ProtocolConfig.for_scale(6)).start()
     system.broadcast_stream(10, interval=1.0, start_at=2.0)
     assert system.run_until_delivered(10, timeout=400.0), {
@@ -83,8 +88,53 @@ def test_host_crash_model_recovers(seed, crash_at, heal_after):
         victim = built.hosts[1]
     server = built.network.server_of(victim)
     schedule = FailureSchedule(sim, built.network)
-    schedule.down(crash_at, str(victim), server)
-    schedule.up(crash_at + heal_after, str(victim), server)
+    schedule.outage(crash_at, crash_at + heal_after, str(victim), server)
     system = BroadcastSystem(built, config=ProtocolConfig.for_scale(4)).start()
     system.broadcast_stream(8, interval=1.0, start_at=2.0)
     assert system.run_until_delivered(8, timeout=400.0)
+
+
+@CHAOS_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       host_mean_up=st.floats(min_value=6.0, max_value=20.0),
+       host_mean_down=st.floats(min_value=1.0, max_value=5.0),
+       link_mean_up=st.floats(min_value=6.0, max_value=20.0),
+       link_mean_down=st.floats(min_value=1.0, max_value=5.0),
+       lag=st.integers(min_value=0, max_value=3))
+def test_combined_host_and_link_churn_heals_and_delivers(
+        seed, host_mean_up, host_mean_down, link_mean_up, link_mean_down,
+        lag):
+    """Real host crashes (volatile state lost) plus link churn, all
+    healing before the horizon: the full stream is still delivered and
+    the invariant monitor reports no stable violation."""
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=3, hosts_per_cluster=2, backbone="ring")
+    system = BroadcastSystem(
+        built,
+        config=ProtocolConfig.for_scale(6, crash_stable_lag=lag)).start()
+    monitor = InvariantMonitor(system, sample_period=1.0,
+                               stable_window=25.0).start()
+    hosts = tuple(str(h) for h in built.hosts if h != system.source_id)
+    spec = ChaosSpec(
+        heal_by=45.0,
+        host_churn=(HostChurnSpec(hosts, mean_up=host_mean_up,
+                                  mean_down=host_mean_down),),
+        link_churn=(LinkChurnSpec(tuple(built.backbone),
+                                  mean_up=link_mean_up,
+                                  mean_down=link_mean_down),),
+    )
+    plan = ChaosPlan(sim, system, spec).start()
+    system.broadcast_stream(10, interval=1.0, start_at=2.0)
+    sim.run(until=46.0)
+    assert plan.healed
+    assert system.crashed_hosts() == []
+    assert system.run_until_delivered(10, timeout=500.0), {
+        "seed": seed,
+        "missing": {str(h): sorted(set(range(1, 11))
+                                   - {r.seq for r in host.deliveries.records()})
+                    for h, host in system.hosts.items()
+                    if not host.deliveries.has_all(10)},
+    }
+    monitor.stop()
+    report = monitor.report()
+    assert report.clean, report.stable_violations

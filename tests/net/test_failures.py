@@ -7,6 +7,7 @@ from repro.net import (
     HostId,
     LinkFlapper,
     PartitionScheduler,
+    ServerOutageSchedule,
     cut_links_between,
     host_group,
     wan_of_lans,
@@ -37,6 +38,62 @@ def test_outage_validates_interval():
     sim, built = build(k=2, m=1)
     with pytest.raises(ValueError):
         FailureSchedule(sim, built.network).outage(5.0, 5.0, "s0", "s1")
+
+
+def test_overlapping_outages_compose():
+    """The link stays down until the *last* covering outage ends; the
+    first outage's repair must not revive it mid-way."""
+    sim, built = build(k=2, m=1)
+    network = built.network
+    schedule = FailureSchedule(sim, network)
+    schedule.outage(5.0, 10.0, "s0", "s1")
+    schedule.outage(8.0, 15.0, "s0", "s1")
+    sim.run(until=9.0)
+    assert not network.link("s0", "s1").up
+    sim.run(until=11.0)  # first outage ended; second still covers
+    assert not network.link("s0", "s1").up
+    sim.run(until=16.0)
+    assert network.link("s0", "s1").up
+
+
+def test_unmatched_repair_clamps_at_up():
+    sim, built = build(k=2, m=1)
+    network = built.network
+    schedule = FailureSchedule(sim, network)
+    schedule.up(2.0, "s0", "s1")  # repair with no matching outage
+    schedule.outage(4.0, 6.0, "s0", "s1")
+    sim.run(until=5.0)
+    assert not network.link("s0", "s1").up
+    sim.run(until=7.0)
+    assert network.link("s0", "s1").up
+
+
+def test_failure_schedule_emits_trace_and_counters():
+    sim, built = build(k=2, m=1)
+    schedule = FailureSchedule(sim, built.network)
+    schedule.outage(2.0, 4.0, "s0", "s1")
+    sim.run(until=5.0)
+    applies = sim.trace.records(kind="failure.apply")
+    assert [(r.fields["a"], r.fields["b"], r.fields["up"])
+            for r in applies] == [("s0", "s1", False), ("s0", "s1", True)]
+    assert sim.metrics.counter("net.failures.link.down").value == 1
+    assert sim.metrics.counter("net.failures.link.up").value == 1
+
+
+def test_server_outage_emits_trace_and_counters():
+    sim, built = build(k=2, m=1)
+    network = built.network
+    schedule = ServerOutageSchedule(sim, network)
+    schedule.outage(2.0, 4.0, "s1")
+    sim.run(until=3.0)
+    assert not network.servers["s1"].up
+    sim.run(until=5.0)
+    assert network.servers["s1"].up
+    applies = sim.trace.records(kind="failure.apply")
+    assert [(r.fields["server"], r.fields["up"]) for r in applies] == [
+        ("s1", False), ("s1", True)]
+    assert sim.metrics.counter("net.failures.server.down").value == 1
+    assert sim.metrics.counter("net.failures.server.up").value == 1
 
 
 def test_cut_links_between_finds_crossing_links():
@@ -93,6 +150,25 @@ def test_flapper_produces_transitions_and_is_deterministic():
     assert downs > 5
     assert abs(downs - ups) <= 1
     assert run(3) == (downs, ups)
+
+
+def test_flapper_same_seed_identical_event_sequence():
+    """Same seed ⇒ the identical timed sequence of link transitions
+    (the flapper draws from a dedicated RNG stream, so unrelated
+    randomness elsewhere cannot perturb the churn)."""
+    def sequence(seed):
+        sim = Simulator(seed=seed)
+        built = wan_of_lans(sim, 3, 1, backbone="ring", convergence_delay=0.0)
+        LinkFlapper(sim, built.network, built.backbone,
+                    mean_up=4.0, mean_down=2.0).start()
+        sim.run(until=60.0)
+        return [(round(r.time, 9), r.kind, tuple(sorted(r.fields.items())))
+                for r in sim.trace.records(kind="link.")]
+
+    first = sequence(9)
+    assert first
+    assert first == sequence(9)
+    assert first != sequence(10)
 
 
 def test_flapper_stop_halts_transitions():

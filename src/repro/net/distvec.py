@@ -76,7 +76,8 @@ class DistanceVectorEngine(RoutingEngine):
 
     def next_hop(self, at_server: str, dst_server: str) -> Optional[str]:
         """Neighbor server to forward to, or None when unknown."""
-        entry = self._vectors.get(at_server, {}).get(dst_server)
+        vector = self._vectors.get(at_server)
+        entry = vector.get(dst_server) if vector is not None else None
         if entry is None or entry.cost >= self.infinity_cost:
             return None
         return entry.next_hop
@@ -93,6 +94,7 @@ class DistanceVectorEngine(RoutingEngine):
     def _bootstrap(self) -> None:
         for name in self.network.server_names():
             self._vectors[name] = {name: RouteEntry(0.0, name, 0.0)}
+        self.generation += 1
 
     def _exchange_round(self) -> None:
         """One synchronous round: age out, then read neighbor vectors."""
@@ -121,6 +123,8 @@ class DistanceVectorEngine(RoutingEngine):
                     refresh = (current is not None and current.next_hop == neighbor)
                     if current is None or candidate < current.cost or refresh:
                         vector[dst] = RouteEntry(candidate, neighbor, now)
+        # Conservative invalidation: any round may have changed routes.
+        self.generation += 1
         self.sim.trace.emit("routing.distvec_round", "distvec")
 
     def table(self, at_server: str) -> Dict[str, RouteEntry]:

@@ -9,9 +9,9 @@ acknowledgments, no failure notifications, no topology information.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
-from ..sim import Simulator
+from ..sim import Counter, Histogram, Simulator
 from .addressing import HostId
 from .link import Link
 from .message import Packet, Payload
@@ -39,6 +39,16 @@ class HostPort:
         self.access_link = access_link
         self.network = network
         self._on_receive: Optional[ReceiveFn] = None
+        self._name = str(host_id)
+        # Hot-path metric handles (see DESIGN.md), created lazily so an
+        # idle port registers nothing.
+        self._c_sent: Optional[Counter] = None
+        self._c_recv: Optional[Counter] = None
+        self._c_recv_exp: Optional[Counter] = None
+        self._h_delay: Optional[Histogram] = None
+        self._sent_kind: Dict[str, Counter] = {}
+        self._recv_kind: Dict[str, Counter] = {}
+        self._recv_exp_kind: Dict[str, Counter] = {}
 
     def set_receiver(self, callback: ReceiveFn) -> None:
         """Register the application callback for inbound packets."""
@@ -61,26 +71,54 @@ class HostPort:
         packet = Packet(src=self.host_id, dst=dst, payload=payload,
                         sent_at=self.sim.now,
                         stamped_at=self.network.local_time(self.host_id))
-        self.sim.trace.emit("net.host_send", str(self.host_id), dst=str(dst),
-                            payload_kind=packet.kind, packet=packet.packet_id)
-        self.sim.metrics.counter("net.h2h.sent").inc()
-        self.sim.metrics.counter(f"net.h2h.sent.kind.{packet.kind}").inc()
+        kind = packet.kind
+        trace = self.sim.trace
+        if trace.active:
+            trace.emit("net.host_send", self._name, dst=str(dst),
+                       payload_kind=kind, packet=packet.packet_id)
+        sent = self._c_sent
+        if sent is None:
+            sent = self._c_sent = self.sim.metrics.counter("net.h2h.sent")
+        sent.inc()
+        kind_counter = self._sent_kind.get(kind)
+        if kind_counter is None:
+            kind_counter = self._sent_kind[kind] = self.sim.metrics.counter(
+                f"net.h2h.sent.kind.{kind}")
+        kind_counter.inc()
         server = self.network.servers[self.server_name]
-        self.access_link.transmit(packet, str(self.host_id), server.receive)
+        self.access_link.transmit(packet, self._name, server.receive)
 
     # -- receiving ----------------------------------------------------------
 
     def deliver_from_network(self, packet: Packet) -> None:
         """Called by the access link when a packet reaches this host."""
-        self.sim.trace.emit("net.host_recv", str(self.host_id), src=str(packet.src),
-                            payload_kind=packet.kind, cost_bit=packet.cost_bit,
-                            packet=packet.packet_id)
+        kind = packet.kind
+        trace = self.sim.trace
+        if trace.active:
+            trace.emit("net.host_recv", self._name, src=str(packet.src),
+                       payload_kind=kind, cost_bit=packet.cost_bit,
+                       packet=packet.packet_id)
         metrics = self.sim.metrics
-        metrics.counter("net.h2h.recv").inc()
-        metrics.counter(f"net.h2h.recv.kind.{packet.kind}").inc()
+        recv = self._c_recv
+        if recv is None:
+            recv = self._c_recv = metrics.counter("net.h2h.recv")
+            self._h_delay = metrics.histogram("net.h2h.delay")
+        recv.inc()
+        kind_counter = self._recv_kind.get(kind)
+        if kind_counter is None:
+            kind_counter = self._recv_kind[kind] = metrics.counter(
+                f"net.h2h.recv.kind.{kind}")
+        kind_counter.inc()
         if packet.cost_bit:
-            metrics.counter("net.h2h.recv.expensive").inc()
-            metrics.counter(f"net.h2h.recv.expensive.kind.{packet.kind}").inc()
-        metrics.histogram("net.h2h.delay").observe(self.sim.now - packet.sent_at)
+            exp = self._c_recv_exp
+            if exp is None:
+                exp = self._c_recv_exp = metrics.counter("net.h2h.recv.expensive")
+            exp.inc()
+            exp_kind = self._recv_exp_kind.get(kind)
+            if exp_kind is None:
+                exp_kind = self._recv_exp_kind[kind] = metrics.counter(
+                    f"net.h2h.recv.expensive.kind.{kind}")
+            exp_kind.inc()
+        self._h_delay.observe(self.sim.now - packet.sent_at)  # type: ignore[union-attr]
         if self._on_receive is not None:
             self._on_receive(packet)

@@ -24,9 +24,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-from ..sim import Event, Simulator
+from ..sim import Counter, Event, Simulator, TimeSeries
 from .addressing import LinkId
 from .message import Packet
 
@@ -81,7 +81,12 @@ class _Direction:
 
     busy_until: float = 0.0
     outstanding: int = 0
-    pending: List[Event] = field(default_factory=list)
+    #: in-flight delivery events; a dict (not a set) so removal is O(1)
+    #: while iteration order stays deterministic (insertion order)
+    pending: Dict[Event, None] = field(default_factory=dict)
+    #: queue-length series name, resolved to the TimeSeries on first use
+    series_name: str = ""
+    series: Optional[TimeSeries] = None
 
 
 class Link:
@@ -98,7 +103,17 @@ class Link:
         self.spec = spec
         self.up = True
         self._rng = sim.rng.stream(f"link.{link_id}")
-        self._directions: Dict[str, _Direction] = {link_id.a: _Direction(), link_id.b: _Direction()}
+        self._directions: Dict[str, _Direction] = {
+            link_id.a: _Direction(series_name=f"linkq.{link_id}.{link_id.a}"),
+            link_id.b: _Direction(series_name=f"linkq.{link_id}.{link_id.b}"),
+        }
+        # Hot-path metric handles, created lazily on first transmit so an
+        # idle link registers nothing (matching pre-cache behavior).
+        self._c_total: Optional[Counter] = None
+        self._c_link: Optional[Counter] = None
+        self._c_expensive: Optional[Counter] = None
+        #: kind -> (kind counter, expensive-kind counter or None)
+        self._kind_counters: Dict[str, Tuple[Counter, Optional[Counter]]] = {}
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -170,52 +185,73 @@ class Link:
             metrics.counter("net.drop.overflow").inc()
             return
 
-        packet.record_hop(self.link_id, self.spec.expensive)
-        metrics.counter("net.link_tx.total").inc()
-        metrics.counter(f"net.link_tx.kind.{packet.kind}").inc()
-        if self.spec.expensive:
-            metrics.counter("net.link_tx.expensive").inc()
-            metrics.counter(f"net.link_tx.expensive.kind.{packet.kind}").inc()
-        metrics.counter(f"linktx.{self.link_id}").inc()
+        spec = self.spec
+        expensive = spec.expensive
+        packet.record_hop(self.link_id, expensive)
+        total = self._c_total
+        if total is None:
+            total = self._c_total = metrics.counter("net.link_tx.total")
+            self._c_link = metrics.counter(f"linktx.{self.link_id}")
+            if expensive:
+                self._c_expensive = metrics.counter("net.link_tx.expensive")
+        total.inc()
+        kind = packet.kind
+        kind_pair = self._kind_counters.get(kind)
+        if kind_pair is None:
+            kind_pair = (
+                metrics.counter(f"net.link_tx.kind.{kind}"),
+                metrics.counter(f"net.link_tx.expensive.kind.{kind}")
+                if expensive else None,
+            )
+            self._kind_counters[kind] = kind_pair
+        kind_pair[0].inc()
+        if expensive:
+            self._c_expensive.inc()  # type: ignore[union-attr]
+            kind_pair[1].inc()  # type: ignore[union-attr]
+        self._c_link.inc()  # type: ignore[union-attr]
 
         direction = self._directions[from_node]
         now = self.sim.now
         start = max(now, direction.busy_until)
         direction.busy_until = start + self.tx_time(packet)
-        delay = direction.busy_until - now + self.spec.latency
-        if self.spec.reorder_jitter > 0:
-            delay += self._rng.uniform(0.0, self.spec.reorder_jitter)
+        delay = direction.busy_until - now + spec.latency
+        if spec.reorder_jitter > 0:
+            delay += self._rng.uniform(0.0, spec.reorder_jitter)
 
         direction.outstanding += 1
-        metrics.record_series(f"linkq.{self.link_id}.{from_node}", direction.outstanding)
-        self._schedule_delivery(packet, from_node, direction, delay, deliver)
+        series = direction.series
+        if series is None:
+            series = direction.series = metrics.series(direction.series_name)
+        series.record(now, direction.outstanding)
+        self._schedule_delivery(packet, direction, delay, deliver)
 
-        if self.spec.dup_prob > 0 and self._rng.random() < self.spec.dup_prob:
+        if spec.dup_prob > 0 and self._rng.random() < spec.dup_prob:
             dup = packet.fork()
             self.sim.trace.emit("link.dup", str(self.link_id), packet=packet.packet_id)
             metrics.counter("net.dup").inc()
             direction.outstanding += 1
-            self._schedule_delivery(dup, from_node, direction, delay + self.tx_time(packet),
+            self._schedule_delivery(dup, direction, delay + self.tx_time(packet),
                                     deliver)
 
     def _schedule_delivery(
         self,
         packet: Packet,
-        from_node: str,
         direction: _Direction,
         delay: float,
         deliver: DeliverFn,
     ) -> None:
+        sim = self.sim
+
         def arrive() -> None:
             direction.outstanding -= 1
-            self.sim.metrics.record_series(
-                f"linkq.{self.link_id}.{from_node}", direction.outstanding)
-            if event in direction.pending:
-                direction.pending.remove(event)
+            series = direction.series
+            if series is not None:
+                series.record(sim.now, direction.outstanding)
+            direction.pending.pop(event, None)
             deliver(packet)
 
-        event = self.sim.schedule(delay, arrive)
-        direction.pending.append(event)
+        event = sim.schedule(delay, arrive)
+        direction.pending[event] = None
 
 
 def endpoints(link: Link) -> Tuple[str, str]:

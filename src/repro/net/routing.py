@@ -50,6 +50,12 @@ def cheap_first_metric(latency: float, expensive: bool) -> float:
 class RoutingEngine:
     """Interface between servers and the routing subsystem."""
 
+    #: Monotonic stamp, bumped every time the engine's tables change.
+    #: Servers memoize ``next_hop`` answers keyed by this generation, so
+    #: repeated unicasts to the same destination skip the table walk
+    #: until the next (re)convergence invalidates the memo.
+    generation: int = 0
+
     def next_hop(self, at_server: str, dst_server: str) -> Optional[str]:
         """Neighbor server to forward to, or None when no route is known."""
         raise NotImplementedError
@@ -78,13 +84,17 @@ class GlobalRoutingEngine(RoutingEngine):
         self.network = network
         self.convergence_delay = convergence_delay
         self.metric = metric
+        self.generation = 0
         self._tables: Dict[str, Dict[str, str]] = {}
         self._recompute_pending = False
         self.recompute()
 
     def next_hop(self, at_server: str, dst_server: str) -> Optional[str]:
         """Neighbor server to forward to, or None when unknown."""
-        return self._tables.get(at_server, {}).get(dst_server)
+        row = self._tables.get(at_server)
+        if row is None:
+            return None
+        return row.get(dst_server)
 
     def on_topology_change(self) -> None:
         """React to a link failing or recovering."""
@@ -108,6 +118,7 @@ class GlobalRoutingEngine(RoutingEngine):
             source: _dijkstra_next_hops(source, adjacency, self.metric)
             for source in adjacency
         }
+        self.generation += 1
 
 
 def _dijkstra_next_hops(

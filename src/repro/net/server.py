@@ -17,13 +17,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict
 
+from typing import Optional
+
 from ..sim import Simulator
 from .addressing import HostId
 from .link import Link
 from .message import Packet
+from .routing import RoutingEngine
 
 if TYPE_CHECKING:  # pragma: no cover
     from .topology import Network
+
+#: cache-miss sentinel (``None`` is a valid memoized answer: "no route")
+_MISS = object()
 
 
 class Server:
@@ -43,6 +49,11 @@ class Server:
         self.attached: Dict[HostId, Link] = {}
         #: links to neighboring servers, keyed by neighbor name
         self.trunks: Dict[str, Link] = {}
+        # Memoized next-hop answers, invalidated whenever the routing
+        # engine's generation stamp moves (or the engine is swapped).
+        self._route_cache: Dict[str, object] = {}
+        self._route_engine: Optional[RoutingEngine] = None
+        self._route_gen = -1
 
     # -- wiring (done by Network during construction) ---------------------
 
@@ -81,7 +92,7 @@ class Server:
         if dst_server == self.name:
             self._deliver_locally(packet)
             return
-        next_hop = self.network.routing.next_hop(self.name, dst_server)
+        next_hop = self._next_hop(dst_server)
         if next_hop is None:
             self._drop(packet, "no_route")
             return
@@ -95,6 +106,19 @@ class Server:
                               self.name, neighbor_server.receive)
         else:
             trunk.transmit(packet, self.name, neighbor_server.receive)
+
+    def _next_hop(self, dst_server: str) -> Optional[str]:
+        """Memoized ``routing.next_hop`` lookup (generation-stamped)."""
+        routing = self.network.routing
+        if routing is not self._route_engine or routing.generation != self._route_gen:
+            self._route_cache.clear()
+            self._route_engine = routing
+            self._route_gen = routing.generation
+        hop = self._route_cache.get(dst_server, _MISS)
+        if hop is _MISS:
+            hop = routing.next_hop(self.name, dst_server)
+            self._route_cache[dst_server] = hop
+        return hop  # type: ignore[return-value]
 
     def _deliver_locally(self, packet: Packet) -> None:
         access = self.attached.get(packet.dst)

@@ -1,0 +1,49 @@
+"""CLI entry point: ``python -m repro.perf``.
+
+Runs the pinned benchmark matrix and writes a schema-versioned
+``BENCH_<date>.json``.  See ``--help`` for options and
+:mod:`repro.perf.compare` for the regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from .harness import default_output_path, run_matrix, write_bench_file
+from .scenarios import SCENARIOS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Run the pinned perf scenario matrix and record "
+                    "BENCH_<date>.json.")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken matrix for CI / smoke runs")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: ./BENCH_<date>.json)")
+    parser.add_argument("--scenario", action="append", dest="scenarios",
+                        metavar="NAME",
+                        help="run only NAME (repeatable; default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available scenarios and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for scenario in SCENARIOS.values():
+            print(f"{scenario.name:<20} {scenario.description}")
+        return 0
+
+    print(f"running {len(args.scenarios or SCENARIOS)} scenario(s)"
+          f"{' (quick)' if args.quick else ''}:")
+    payload = run_matrix(args.scenarios, quick=args.quick, echo=True)
+    out = args.out if args.out is not None else default_output_path()
+    write_bench_file(payload, out)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Diff two bench files; fail on throughput regressions.
+
+Usage::
+
+    python -m repro.perf.compare baseline.json new.json [--threshold 0.15]
+
+Exit status 1 when any scenario present in both files regressed by more
+than ``threshold`` (relative drop in events/second), or when a baseline
+scenario is missing from the new file.  This is the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .harness import load_bench_file
+
+#: default allowed relative drop in events/second before failing
+DEFAULT_THRESHOLD = 0.15
+
+
+@dataclass
+class CompareResult:
+    """Outcome of comparing one scenario across two bench files."""
+
+    scenario: str
+    old_events_per_s: Optional[float]
+    new_events_per_s: Optional[float]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """new/old throughput, or None when either side is missing."""
+        if not self.old_events_per_s or self.new_events_per_s is None:
+            return None
+        return self.new_events_per_s / self.old_events_per_s
+
+    def regressed(self, threshold: float) -> bool:
+        """True when this scenario fails the gate at ``threshold``."""
+        if self.new_events_per_s is None:
+            return True  # vanished scenarios fail the gate
+        ratio = self.ratio
+        return ratio is not None and ratio < (1.0 - threshold)
+
+
+def _by_scenario(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {entry["scenario"]: entry for entry in payload.get("results", [])}
+
+
+def compare_payloads(old: Dict[str, Any], new: Dict[str, Any]) -> List[CompareResult]:
+    """Compare two loaded bench payloads, keyed on the baseline's scenarios.
+
+    Scenarios only present in ``new`` are ignored (adding benchmarks is
+    never a regression).
+    """
+    old_results = _by_scenario(old)
+    new_results = _by_scenario(new)
+    out = []
+    for name, old_entry in sorted(old_results.items()):
+        new_entry = new_results.get(name)
+        out.append(CompareResult(
+            scenario=name,
+            old_events_per_s=old_entry.get("events_per_s"),
+            new_events_per_s=(new_entry.get("events_per_s")
+                              if new_entry is not None else None),
+        ))
+    return out
+
+
+def compare_bench_files(old_path: Path, new_path: Path) -> List[CompareResult]:
+    """Load and compare two bench files (schema versions must match)."""
+    return compare_payloads(load_bench_file(old_path), load_bench_file(new_path))
+
+
+def format_table(results: List[CompareResult], threshold: float) -> str:
+    """Human-readable comparison table with a PASS/FAIL verdict per row."""
+    lines = [f"{'scenario':<20} {'old ev/s':>14} {'new ev/s':>14} "
+             f"{'ratio':>7}  verdict"]
+    for result in results:
+        old = (f"{result.old_events_per_s:,.0f}"
+               if result.old_events_per_s is not None else "-")
+        new = (f"{result.new_events_per_s:,.0f}"
+               if result.new_events_per_s is not None else "MISSING")
+        ratio = f"{result.ratio:.3f}" if result.ratio is not None else "-"
+        verdict = "FAIL" if result.regressed(threshold) else "ok"
+        lines.append(f"{result.scenario:<20} {old:>14} {new:>14} "
+                     f"{ratio:>7}  {verdict}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.compare",
+        description="Diff two BENCH_*.json files; exit 1 on regression.")
+    parser.add_argument("baseline", type=Path, help="baseline bench file")
+    parser.add_argument("new", type=Path, help="candidate bench file")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed relative events/s drop "
+                             "(default %(default)s)")
+    args = parser.parse_args(argv)
+    results = compare_bench_files(args.baseline, args.new)
+    print(format_table(results, args.threshold))
+    failed = [r.scenario for r in results if r.regressed(args.threshold)]
+    if failed:
+        print(f"\nREGRESSION (> {args.threshold:.0%} drop): {', '.join(failed)}")
+        return 1
+    print(f"\nno regression beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

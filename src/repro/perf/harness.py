@@ -1,0 +1,134 @@
+"""Measurement harness: run the scenario matrix, write ``BENCH_*.json``.
+
+The output schema is versioned (:data:`SCHEMA_VERSION`); the compare
+tool refuses to diff files with mismatched versions.  Results record,
+per scenario: wall time, simulated events executed, events/second, peak
+process RSS, and the retained trace-kind histogram.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import gc
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from .scenarios import SCENARIOS, Scenario
+
+#: Bump whenever the result schema or the pinned scenario matrix
+#: changes incompatibly; compare refuses cross-version diffs.
+SCHEMA_VERSION = 1
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process, in KiB.
+
+    ``ru_maxrss`` is the lifetime peak, so per-scenario values are
+    nondecreasing across a matrix run; treat them as an envelope, not a
+    per-scenario measurement.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        rss //= 1024
+    return int(rss)
+
+
+@dataclass
+class BenchResult:
+    """One scenario's measurements."""
+
+    scenario: str
+    wall_s: float
+    events: int
+    events_per_s: float
+    peak_rss_kb: int
+    trace_kinds: Dict[str, int] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "events_per_s": self.events_per_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "trace_kinds": self.trace_kinds,
+            "meta": self.meta,
+        }
+
+
+def run_scenario(scenario: Scenario, quick: bool = False,
+                 seed: Optional[int] = None) -> BenchResult:
+    """Run one scenario under measurement."""
+    gc.collect()
+    start = time.perf_counter()
+    run = scenario.run(quick=quick, seed=seed)
+    wall = time.perf_counter() - start
+    events = run.sim.events_executed
+    return BenchResult(
+        scenario=scenario.name,
+        wall_s=wall,
+        events=events,
+        events_per_s=(events / wall) if wall > 0 else float("inf"),
+        peak_rss_kb=_peak_rss_kb(),
+        trace_kinds=run.trace_kinds(),
+        meta=run.meta,
+    )
+
+
+def run_matrix(names: Optional[Iterable[str]] = None, quick: bool = False,
+               echo: bool = False) -> Dict[str, Any]:
+    """Run the (sub)matrix and return the full bench payload."""
+    selected: List[Scenario] = []
+    for name in (names if names is not None else SCENARIOS):
+        try:
+            selected.append(SCENARIOS[name])
+        except KeyError:
+            raise SystemExit(
+                f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}")
+    results = []
+    for scenario in selected:
+        result = run_scenario(scenario, quick=quick)
+        results.append(result.to_json())
+        if echo:
+            print(f"  {result.scenario:<20} {result.events:>9} events  "
+                  f"{result.wall_s:8.3f}s  {result.events_per_s:>12,.0f} ev/s  "
+                  f"rss {result.peak_rss_kb} KiB")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "created_utc": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+        "quick": quick,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+
+def default_output_path(base_dir: Optional[Path] = None) -> Path:
+    """``BENCH_<YYYY-MM-DD>.json`` in ``base_dir`` (default: cwd)."""
+    stamp = _dt.date.today().isoformat()
+    return (base_dir or Path.cwd()) / f"BENCH_{stamp}.json"
+
+
+def write_bench_file(payload: Dict[str, Any], path: Path) -> Path:
+    """Write a bench payload as stable, sorted JSON."""
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_bench_file(path: Path) -> Dict[str, Any]:
+    """Read a bench payload, validating the schema version."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} != supported {SCHEMA_VERSION}")
+    return payload

@@ -6,7 +6,19 @@ same-time, same-priority events deterministic (FIFO in scheduling
 order), which is what makes whole simulations bit-reproducible for a
 given seed.
 
-Cancellation is *lazy*: a cancelled event stays in the heap but is
+Hot-path layout (see DESIGN.md "Event-loop fast path"):
+
+* heap entries are plain ``(time, priority, seq, event)`` tuples, so
+  every sift comparison is a C-level tuple compare — the unique ``seq``
+  guarantees the :class:`Event` object itself is never compared;
+* :meth:`push_soon` appends "run at the current time" events to a FIFO
+  deque instead of the heap.  Because virtual time never goes backward
+  and sequence numbers only grow, the deque is sorted by the same
+  ``(time, priority, seq)`` key by construction, and :meth:`pop_next`
+  merges the two structures without ever reordering anything.  The
+  observable execution order is *identical* to a heap-only queue.
+
+Cancellation is *lazy*: a cancelled event stays in its structure but is
 skipped when popped.  This keeps `cancel` O(1) and is the standard
 technique for discrete-event simulators.
 """
@@ -14,7 +26,7 @@ technique for discrete-event simulators.
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import EventAlreadyCancelledError
@@ -23,6 +35,11 @@ Callback = Callable[..., None]
 
 #: Default event priority.  Lower values run first among same-time events.
 DEFAULT_PRIORITY = 0
+
+#: Shared kwargs object for the (overwhelmingly common) no-kwargs case,
+#: so pushing an event does not allocate a fresh empty dict.  Treat as
+#: immutable.
+_NO_KWARGS: dict = {}
 
 
 class Event:
@@ -50,7 +67,7 @@ class Event:
         self.seq = seq
         self.callback = callback
         self.args = args
-        self.kwargs = kwargs or {}
+        self.kwargs = kwargs if kwargs else _NO_KWARGS
         self._cancelled = False
 
     @property
@@ -69,7 +86,7 @@ class Event:
         self._cancelled = True
 
     def sort_key(self) -> Tuple[float, int, int]:
-        """Heap ordering key: (time, priority, sequence)."""
+        """Queue ordering key: (time, priority, sequence)."""
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
@@ -84,9 +101,12 @@ class Event:
 class EventQueue:
     """Deterministic priority queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_fifo", "_seq", "_live")
+
     def __init__(self) -> None:
-        self._heap: List[Event] = []
-        self._counter = itertools.count()
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._fifo: "deque[Event]" = deque()
+        self._seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -105,8 +125,31 @@ class EventQueue:
         priority: int = DEFAULT_PRIORITY,
     ) -> Event:
         """Add an event and return its handle."""
-        event = Event(time, priority, next(self._counter), callback, args, kwargs)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args, kwargs)
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        self._live += 1
+        return event
+
+    def push_soon(
+        self,
+        time: float,
+        callback: Callback,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+    ) -> Event:
+        """Add a "run at the current time" event, bypassing the heap.
+
+        ``time`` must be the simulator's current time: the FIFO stays
+        key-sorted only because successive pushes carry non-decreasing
+        times (and strictly increasing sequence numbers).  Priority is
+        always :data:`DEFAULT_PRIORITY`.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, DEFAULT_PRIORITY, seq, callback, args, kwargs)
+        self._fifo.append(event)
         self._live += 1
         return event
 
@@ -116,17 +159,62 @@ class EventQueue:
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                self._live -= 1
-                return event
+        return self.pop_next(None)
+
+    def pop_next(self, limit: Optional[float] = None) -> Optional[Event]:
+        """Pop the earliest live event with ``time <= limit`` (None = any).
+
+        Returns None — leaving the queue untouched — when the queue is
+        drained or the earliest live event lies beyond ``limit``.
+        """
+        heap = self._heap
+        fifo = self._fifo
+        while fifo and fifo[0]._cancelled:
+            fifo.popleft()
+        while heap and heap[0][3]._cancelled:
+            heapq.heappop(heap)
+        if fifo:
+            event = fifo[0]
+            if heap:
+                head = heap[0]
+                # seq is unique, so equality is impossible; this total
+                # order is exactly the old single-heap order.
+                if head[0] < event.time or (
+                    head[0] == event.time
+                    and (head[1], head[2]) < (event.priority, event.seq)
+                ):
+                    event = head[3]
+                    if limit is not None and event.time > limit:
+                        return None
+                    heapq.heappop(heap)
+                    self._live -= 1
+                    return event
+            if limit is not None and event.time > limit:
+                return None
+            fifo.popleft()
+            self._live -= 1
+            return event
+        if heap:
+            event = heap[0][3]
+            if limit is not None and event.time > limit:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        fifo = self._fifo
+        while fifo and fifo[0]._cancelled:
+            fifo.popleft()
+        while heap and heap[0][3]._cancelled:
+            heapq.heappop(heap)
+        if fifo:
+            if heap and heap[0][0] < fifo[0].time:
+                return heap[0][0]
+            return fifo[0].time
+        if heap:
+            return heap[0][0]
+        return None

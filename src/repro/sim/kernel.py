@@ -94,8 +94,13 @@ class Simulator:
         return self._queue.push(when, callback, args, kwargs, priority)
 
     def call_soon(self, callback: Callback, *args: Any, **kwargs: Any) -> Event:
-        """Schedule ``callback`` at the current time (after pending same-time events)."""
-        return self._queue.push(self._now, callback, args, kwargs, DEFAULT_PRIORITY)
+        """Schedule ``callback`` at the current time (after pending same-time events).
+
+        Uses the queue's FIFO fast path: the event never touches the
+        heap, but runs in exactly the position a heap push would have
+        given it.
+        """
+        return self._queue.push_soon(self._now, callback, args, kwargs)
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
@@ -135,17 +140,22 @@ class Simulator:
         """
         if self._finished:
             raise SimulatorFinishedError("simulator already finished")
+        # Hot loop: one merged pop per event, locals bound outside the
+        # loop, kwargs expansion skipped for the common no-kwargs case.
+        pop_next = self._queue.pop_next
         executed = 0
-        while True:
-            if max_events is not None and executed >= max_events:
+        remaining = max_events if max_events is not None else float("inf")
+        while executed < remaining:
+            event = pop_next(until)
+            if event is None:
                 break
-            next_time = self._queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                break
-            self.step()
+            self._now = event.time
+            self._events_executed += 1
             executed += 1
+            if event.kwargs:
+                event.callback(*event.args, **event.kwargs)
+            else:
+                event.callback(*event.args)
         if until is not None and self._now < until:
             self._now = until
         return self._now

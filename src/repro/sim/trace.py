@@ -9,32 +9,79 @@ stream; subscribers can also react to records as they are emitted.
 Recording is opt-in per ``kind`` prefix so long benchmarks can run with
 tracing disabled (the default records everything, which is what unit and
 integration tests want).
+
+Fast-path contract (see DESIGN.md "Tracer fast path"):
+
+* when the tracer is fully inactive (``enabled`` is False and no
+  subscribers are registered) :meth:`Tracer.emit` returns after a single
+  attribute test and allocates *nothing*;
+* when disabled but subscribers exist, a :class:`TraceRecord` is built
+  only if at least one subscriber's prefix matches the kind — a miss
+  allocates nothing;
+* hot emit sites may additionally guard with the plain ``active``
+  attribute (``if sim.trace.active: sim.trace.emit(...)``) to also skip
+  building the keyword-argument dict.  ``active`` is maintained by the
+  tracer; treat it as read-only.
+
+For long chaos runs, :meth:`Tracer.retain_last` bounds retention to a
+ring buffer of the most recent N records instead of disabling tracing
+outright.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from collections import deque
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .kernel import Simulator
 
 
-@dataclass(frozen=True)
 class TraceRecord:
-    """One traced occurrence inside a simulation."""
+    """One traced occurrence inside a simulation.
 
-    time: float
-    kind: str
-    source: str
-    fields: Dict[str, Any] = field(default_factory=dict)
+    A plain ``__slots__`` class (not a dataclass): record construction
+    sits on the simulator's hot path, and slot assignment is several
+    times cheaper than a frozen dataclass's ``object.__setattr__``
+    dance.  Treat instances as immutable.
+    """
+
+    __slots__ = ("time", "kind", "source", "fields")
+
+    def __init__(self, time: float, kind: str, source: str,
+                 fields: Optional[Dict[str, Any]] = None) -> None:
+        self.time = time
+        self.kind = kind
+        self.source = source
+        self.fields: Dict[str, Any] = fields if fields is not None else {}
 
     def __getitem__(self, key: str) -> Any:
         return self.fields[key]
 
     def get(self, key: str, default: Any = None) -> Any:
-        """The record for ``seq``, or None if not delivered."""
+        """The value of field ``key``, or ``default`` when absent."""
         return self.fields.get(key, default)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (self.time == other.time and self.kind == other.kind
+                and self.source == other.source and self.fields == other.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceRecord(time={self.time!r}, kind={self.kind!r}, "
+                f"source={self.source!r}, fields={self.fields!r})")
 
 
 Subscriber = Callable[[TraceRecord], None]
@@ -43,11 +90,49 @@ Subscriber = Callable[[TraceRecord], None]
 class Tracer:
     """Collects :class:`TraceRecord` objects and notifies subscribers."""
 
-    def __init__(self, sim: "Simulator", enabled: bool = True) -> None:
+    __slots__ = ("_sim", "_enabled", "_records", "_subscribers", "active")
+
+    def __init__(self, sim: "Simulator", enabled: bool = True,
+                 retain_last: Optional[int] = None) -> None:
         self._sim = sim
-        self.enabled = enabled
-        self._records: List[TraceRecord] = []
+        self._enabled = enabled
+        self._records: Union[List[TraceRecord], "deque[TraceRecord]"]
+        self._records = deque(maxlen=retain_last) if retain_last else []
         self._subscribers: List[Tuple[str, Subscriber]] = []
+        #: fast-path guard, kept equal to ``enabled or bool(subscribers)``
+        self.active = bool(enabled)
+
+    # -- configuration --------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records are retained (subscribers fire regardless)."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        self.active = self._enabled or bool(self._subscribers)
+
+    def retain_last(self, limit: Optional[int]) -> None:
+        """Bound retention to a ring buffer of the newest ``limit`` records.
+
+        Existing records are preserved (the oldest are dropped if they
+        exceed the new bound); ``None`` restores unbounded retention.
+        """
+        if limit is None:
+            self._records = list(self._records)
+        else:
+            if limit <= 0:
+                raise ValueError(f"retention limit must be positive, got {limit}")
+            self._records = deque(self._records, maxlen=limit)
+
+    @property
+    def retention(self) -> Optional[int]:
+        """The ring-buffer bound, or None when retention is unbounded."""
+        if isinstance(self._records, deque):
+            return self._records.maxlen
+        return None
 
     # -- emission ------------------------------------------------------
 
@@ -57,13 +142,22 @@ class Tracer:
         Subscribers matching the kind prefix are always notified;
         records are retained only while ``enabled`` is True.
         """
-        if not self.enabled and not self._subscribers:
+        if not self.active:
             return
-        record = TraceRecord(self._sim.now, kind, source, fields)
-        if self.enabled:
+        if self._enabled:
+            record = TraceRecord(self._sim.now, kind, source, fields)
             self._records.append(record)
+            for prefix, subscriber in self._subscribers:
+                if kind.startswith(prefix):
+                    subscriber(record)
+            return
+        # Disabled but subscribed: allocate the record only if some
+        # subscriber actually wants this kind.
+        record = None
         for prefix, subscriber in self._subscribers:
-            if record.kind.startswith(prefix):
+            if kind.startswith(prefix):
+                if record is None:
+                    record = TraceRecord(self._sim.now, kind, source, fields)
                 subscriber(record)
 
     # -- subscription ---------------------------------------------------
@@ -71,6 +165,7 @@ class Tracer:
     def subscribe(self, prefix: str, subscriber: Subscriber) -> None:
         """Call ``subscriber`` for every record whose kind starts with ``prefix``."""
         self._subscribers.append((prefix, subscriber))
+        self.active = True
 
     # -- querying -------------------------------------------------------
 

@@ -1,0 +1,110 @@
+"""The bench harness (BENCH_*.json schema) and the CI regression gate."""
+
+import json
+
+import pytest
+
+from repro.perf import SCHEMA_VERSION, compare_payloads, load_bench_file
+from repro.perf.compare import CompareResult, DEFAULT_THRESHOLD, main as compare_main
+from repro.perf.harness import run_matrix, write_bench_file
+from repro.perf.__main__ import main as perf_main
+
+
+def make_payload(events_per_s, version=SCHEMA_VERSION):
+    return {
+        "schema_version": version,
+        "created_utc": "2026-01-01T00:00:00+00:00",
+        "quick": True,
+        "results": [
+            {"scenario": name, "wall_s": 1.0, "events": int(rate),
+             "events_per_s": rate, "peak_rss_kb": 1, "trace_kinds": {},
+             "meta": {}}
+            for name, rate in events_per_s.items()
+        ],
+    }
+
+
+def test_run_matrix_payload_is_schema_versioned():
+    payload = run_matrix(["kernel_throughput"], quick=True)
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["quick"] is True
+    (result,) = payload["results"]
+    assert result["scenario"] == "kernel_throughput"
+    assert result["events"] > 0
+    assert result["events_per_s"] > 0
+    assert result["peak_rss_kb"] > 0
+
+
+def test_cli_writes_bench_file(tmp_path):
+    out = tmp_path / "BENCH_test.json"
+    rc = perf_main(["--quick", "--scenario", "kernel_throughput",
+                    "--out", str(out)])
+    assert rc == 0
+    payload = load_bench_file(out)
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert [r["scenario"] for r in payload["results"]] == ["kernel_throughput"]
+
+
+def test_cli_rejects_unknown_scenario(tmp_path):
+    with pytest.raises(SystemExit):
+        perf_main(["--quick", "--scenario", "nope",
+                   "--out", str(tmp_path / "x.json")])
+
+
+def test_load_rejects_schema_mismatch(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps(make_payload({"a": 1.0}, version=999)))
+    with pytest.raises(ValueError, match="schema_version"):
+        load_bench_file(path)
+
+
+def test_compare_passes_within_threshold():
+    old = make_payload({"kernel_throughput": 100_000.0})
+    new = make_payload({"kernel_throughput": 90_000.0})  # -10% < 15%
+    (result,) = compare_payloads(old, new)
+    assert not result.regressed(DEFAULT_THRESHOLD)
+
+
+def test_compare_fails_beyond_threshold():
+    old = make_payload({"kernel_throughput": 100_000.0})
+    new = make_payload({"kernel_throughput": 80_000.0})  # -20% > 15%
+    (result,) = compare_payloads(old, new)
+    assert result.regressed(DEFAULT_THRESHOLD)
+    assert result.ratio == pytest.approx(0.8)
+
+
+def test_compare_missing_scenario_fails_gate():
+    old = make_payload({"kernel_throughput": 100_000.0, "e2_delay": 5_000.0})
+    new = make_payload({"kernel_throughput": 100_000.0})
+    by_name = {r.scenario: r for r in compare_payloads(old, new)}
+    assert by_name["e2_delay"].regressed(DEFAULT_THRESHOLD)
+    assert not by_name["kernel_throughput"].regressed(DEFAULT_THRESHOLD)
+
+
+def test_compare_ignores_new_only_scenarios():
+    old = make_payload({"kernel_throughput": 100_000.0})
+    new = make_payload({"kernel_throughput": 100_000.0, "brand_new": 1.0})
+    results = compare_payloads(old, new)
+    assert [r.scenario for r in results] == ["kernel_throughput"]
+
+
+def test_compare_cli_exit_codes(tmp_path, capsys):
+    old_path = tmp_path / "old.json"
+    good_path = tmp_path / "good.json"
+    bad_path = tmp_path / "bad.json"
+    write_bench_file(make_payload({"kernel_throughput": 100_000.0}), old_path)
+    write_bench_file(make_payload({"kernel_throughput": 99_000.0}), good_path)
+    write_bench_file(make_payload({"kernel_throughput": 50_000.0}), bad_path)
+    assert compare_main([str(old_path), str(good_path)]) == 0
+    assert compare_main([str(old_path), str(bad_path)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    # A looser threshold lets the same drop through.
+    assert compare_main([str(old_path), str(bad_path), "--threshold", "0.6"]) == 0
+
+
+def test_compare_result_ratio_handles_missing_sides():
+    assert CompareResult("x", None, 1.0).ratio is None
+    assert CompareResult("x", 0.0, 1.0).ratio is None
+    assert CompareResult("x", 1.0, None).ratio is None
+    assert CompareResult("x", 1.0, None).regressed(0.15)

@@ -1,0 +1,94 @@
+"""Server-side next-hop memoization and generation-stamped invalidation."""
+
+from repro.net import Network, cheap_spec
+from repro.sim import Simulator
+
+
+def build_line(n, convergence_delay=0.0):
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    for i in range(n):
+        network.add_server(f"s{i}")
+    for i in range(1, n):
+        network.connect(f"s{i-1}", f"s{i}", cheap_spec(latency=0.01))
+    engine = network.use_global_routing(convergence_delay=convergence_delay)
+    return sim, network, engine
+
+
+def test_repeated_lookups_hit_cache_not_engine():
+    sim, network, engine = build_line(4)
+    server = network.servers["s0"]
+    calls = []
+    original = engine.next_hop
+
+    def counting_next_hop(at_server, dst_server):
+        calls.append((at_server, dst_server))
+        return original(at_server, dst_server)
+
+    engine.next_hop = counting_next_hop
+    assert server._next_hop("s3") == "s1"
+    assert server._next_hop("s3") == "s1"
+    assert server._next_hop("s3") == "s1"
+    assert calls == [("s0", "s3")]
+
+
+def test_recompute_bumps_generation_and_invalidates_cache():
+    sim, network, engine = build_line(3)
+    server = network.servers["s0"]
+    assert server._next_hop("s2") == "s1"
+    before = engine.generation
+    network.set_link_state("s0", "s1", up=False)  # immediate recompute
+    assert engine.generation > before
+    assert server._next_hop("s2") is None
+    network.set_link_state("s0", "s1", up=True)
+    assert server._next_hop("s2") == "s1"
+
+
+def test_on_topology_change_with_delay_invalidates_after_convergence():
+    sim, network, engine = build_line(3, convergence_delay=2.0)
+    server = network.servers["s0"]
+    assert server._next_hop("s2") == "s1"
+    network.set_link_state("s0", "s1", up=False)
+    # Stale during the convergence window — memo must agree with engine.
+    assert server._next_hop("s2") == engine.next_hop("s0", "s2") == "s1"
+    sim.run(until=3.0)
+    assert server._next_hop("s2") is None
+
+
+def test_no_route_answer_is_memoized():
+    """None is a valid cached answer, not a cache miss."""
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    network.add_server("a")
+    network.add_server("b")
+    engine = network.use_global_routing(convergence_delay=0.0)
+    server = network.servers["a"]
+    calls = []
+    original = engine.next_hop
+
+    def counting_next_hop(at_server, dst_server):
+        calls.append(dst_server)
+        return original(at_server, dst_server)
+
+    engine.next_hop = counting_next_hop
+    assert server._next_hop("b") is None
+    assert server._next_hop("b") is None
+    assert calls == ["b"]
+
+
+def test_distvec_rounds_bump_generation():
+    from repro.net import DistanceVectorEngine
+
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    for name in ("a", "b", "c"):
+        network.add_server(name)
+    network.connect("a", "b", cheap_spec(latency=0.01))
+    network.connect("b", "c", cheap_spec(latency=0.01))
+    engine = DistanceVectorEngine(sim, network, period=1.0)
+    network.use_routing(engine)
+    before = engine.generation
+    sim.run(until=5.0)
+    assert engine.generation > before
+    # Converged: server memo agrees with the engine's tables.
+    assert network.servers["a"]._next_hop("c") == engine.next_hop("a", "c") == "b"

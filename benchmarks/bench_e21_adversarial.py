@@ -1,0 +1,35 @@
+"""E21 — Adversarial packet timing: fixed vs adaptive control plane.
+
+Seed-matched loss x corruption x delay-skew sweep with two scheduled
+host outages per point.  The adaptive control plane (RTT-estimated
+timeouts, backoff with jitter, congestion-aware gap filling) must
+deliver at least as large a fraction as the fixed-timeout config at
+every operating point, and recover strictly faster at the two harshest
+points — where loss delays control round trips and corruption eats
+retransmissions, the fixed windows are exactly wrong.
+"""
+
+import math
+
+from repro.experiments import run_e21_adversarial_timing
+from repro.experiments.runners import E21_POINTS
+
+#: the two harshest operating points (last entries of the sweep)
+HARSHEST = tuple(p[0] for p in E21_POINTS[-2:])
+
+
+def test_e21_adversarial_timing(run_experiment):
+    result = run_experiment(run_e21_adversarial_timing)
+    rows = {(r["point"], r["mode"]): r for r in result.rows}
+    for point, *_ in E21_POINTS:
+        fixed, adaptive = rows[(point, "fixed")], rows[(point, "adaptive")]
+        assert adaptive["delivered"] >= fixed["delivered"], (point, fixed,
+                                                            adaptive)
+    for point in HARSHEST:
+        fixed, adaptive = rows[(point, "fixed")], rows[(point, "adaptive")]
+        assert not math.isnan(adaptive["recovery_mean_s"]), (point, adaptive)
+        assert adaptive["recovery_mean_s"] < fixed["recovery_mean_s"], (
+            point, fixed, adaptive)
+    # The corruption points must actually exercise the wire hardening.
+    assert rows[("harsh", "adaptive")]["corrupt_dropped"] > 0
+    assert rows[("harsh", "adaptive")]["dup_suppressed"] > 0

@@ -11,6 +11,7 @@ tests can assert the paper's eventual-delivery claim.
 """
 
 from .hosts import HostCrashSchedule, HostFlapper
+from .packets import PacketChaos, PacketFaultSpec
 from .plan import (
     ChaosPlan,
     ChaosSpec,
@@ -31,6 +32,8 @@ __all__ = [
     "HostOutageSpec",
     "LinkChurnSpec",
     "LinkOutageSpec",
+    "PacketChaos",
+    "PacketFaultSpec",
     "PartitionSpec",
     "ServerOutageSpec",
 ]

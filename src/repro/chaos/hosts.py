@@ -10,10 +10,10 @@ protocol must discover crashed peers through its own timeouts.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..net import HostId
-from ..sim import Simulator
+from ..sim import Event, Simulator
 
 
 class HostCrashSchedule:
@@ -82,19 +82,33 @@ class HostFlapper:
         self.mean_down = mean_down
         self._rng = sim.rng.stream(rng_stream)
         self._running = False
+        #: per-host pending transition event, cancelled on stop() so a
+        #: stopped flapper can never crash/recover a host afterwards
+        self._pending: Dict[HostId, Event] = {}
 
     def start(self) -> "HostFlapper":
         """Start periodic activity; returns self for chaining."""
         self._running = True
         for host in self.hosts:
-            self.sim.schedule(self._rng.expovariate(1.0 / self.mean_up),
-                              self._crash, host)
+            self._arm(self.mean_up, self._crash, host)
         return self
 
     def stop(self) -> None:
-        """Stop generating new transitions (pending ones are dropped,
-        possibly leaving hosts crashed — see :meth:`heal`)."""
+        """Stop all transitions, including any already scheduled
+        (possibly leaving hosts crashed — see :meth:`heal`).
+
+        Pending crash/recover events are cancelled — without that, a
+        timer armed before stop() could crash a host *after* a chaos
+        plan's heal-by horizon and break its guarantee.
+        """
         self._running = False
+        for event in self._pending.values():
+            self.sim.try_cancel(event)
+        self._pending.clear()
+
+    def _arm(self, mean: float, action, host: HostId) -> None:
+        self._pending[host] = self.sim.schedule(
+            self._rng.expovariate(1.0 / mean), action, host)
 
     def heal(self) -> None:
         """Stop and recover every managed host still down.
@@ -109,15 +123,15 @@ class HostFlapper:
     def _crash(self, host: HostId) -> None:
         if not self._running:
             return
+        self._pending.pop(host, None)
         self.system.crash_host(host)
         self.sim.metrics.counter("net.failures.host.down").inc()
-        self.sim.schedule(self._rng.expovariate(1.0 / self.mean_down),
-                          self._recover, host)
+        self._arm(self.mean_down, self._recover, host)
 
     def _recover(self, host: HostId) -> None:
         if not self._running:
             return
+        self._pending.pop(host, None)
         self.system.recover_host(host)
         self.sim.metrics.counter("net.failures.host.up").inc()
-        self.sim.schedule(self._rng.expovariate(1.0 / self.mean_up),
-                          self._crash, host)
+        self._arm(self.mean_up, self._crash, host)

@@ -1,0 +1,200 @@
+"""Adversarial packet-level fault injection.
+
+:class:`PacketChaos` attacks the protocol *below* the payload layer but
+*above* the links: it taps chosen hosts' inbound ports
+(:attr:`repro.net.hostiface.HostPort.tap`) and, on a seeded schedule,
+
+* **corrupts** wire messages (flips the payload checksum, modelling
+  in-flight bit rot — receivers must validate and drop);
+* **duplicates** them (a second copy arrives shortly after — receivers
+  must suppress duplicate control traffic);
+* **delays** them (adversarial timing skew — adaptive deadlines must
+  absorb it, fixed ones thrash);
+* **replays** stale copies much later (receivers must not let an old
+  AttachAck or InfoMsg wind protocol state backwards).
+
+This is deliberately *receiver-side* injection: link loss/duplication
+(:class:`repro.net.link.LinkSpec`) models an unreliable network, while
+PacketChaos models what the paper's end-to-end argument actually has to
+survive — garbage arriving at a correct host.  Faults compose with
+every other injector through :class:`repro.chaos.plan.ChaosPlan`
+(``ChaosSpec.packet_faults``), which also enforces the heal-by horizon:
+``stop()`` cancels every pending injection, so no chaos-made packet can
+arrive after the plan has healed.
+
+Determinism: all draws come from one named RNG stream, and packet
+arrival order is itself deterministic, so a (seed, spec) pair replays
+the identical fault sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.wire import corrupted_copy
+from ..net import HostId, Packet
+from ..sim import Event, Simulator
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class PacketFaultSpec:
+    """One packet-fault rule: who it hits, when, and with what mix.
+
+    ``src``/``dst`` name hosts (``"*"`` matches any); the rule applies
+    to packets *received by* ``dst`` during ``[start, end)``.  Each
+    probability is drawn independently per matching packet, in the
+    fixed order corrupt → duplicate → delay → replay.
+    """
+
+    src: str = "*"
+    dst: str = "*"
+    start: float = 0.0
+    end: float = _INF
+    corrupt_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+    #: mean extra delay for delayed packets (actual: uniform 0.5x–1.5x)
+    delay: float = 0.5
+    replay_prob: float = 0.0
+    #: how much later the stale copy of a replayed packet arrives
+    replay_lag: float = 2.0
+    #: how much later a duplicated packet's second copy arrives
+    dup_lag: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("corrupt_prob", "dup_prob", "delay_prob", "replay_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{name} must be a probability in [0, 1], got {value}")
+        for name in ("delay", "replay_lag", "dup_lag"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.end <= self.start:
+            raise ValueError(f"end {self.end} must be after start {self.start}")
+
+
+class PacketChaos:
+    """Inject :class:`PacketFaultSpec` faults into hosts' inbound paths."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network,
+        specs: Sequence[PacketFaultSpec],
+        rng_stream: str = "chaos.packets",
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.specs: Tuple[PacketFaultSpec, ...] = tuple(specs)
+        self._rng = sim.rng.stream(rng_stream)
+        self._running = False
+        #: dst host -> its matching rules, resolved once at start()
+        self._rules: Dict[HostId, List[PacketFaultSpec]] = {}
+        self._tapped: List = []
+        #: pending scheduled injections; cancelled by stop() so the
+        #: heal-by guarantee covers in-flight chaos too
+        self._pending: Dict[Event, None] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "PacketChaos":
+        """Install taps on every matching host port; returns self."""
+        if self._running:
+            return self
+        self._running = True
+        for host_id in self.network.hosts():
+            rules = [s for s in self.specs
+                     if s.dst == "*" or s.dst == str(host_id)]
+            if not rules:
+                continue
+            self._rules[host_id] = rules
+            port = self.network.host_port(host_id)
+            port.tap = self._make_tap(port)
+            self._tapped.append(port)
+        self.sim.trace.emit("chaos.packets.start", "packet_chaos",
+                            tapped=len(self._tapped))
+        return self
+
+    def stop(self) -> None:
+        """Remove all taps and cancel every pending injection."""
+        self._running = False
+        for port in self._tapped:
+            port.tap = None
+        self._tapped.clear()
+        for event in self._pending:
+            self.sim.try_cancel(event)
+        self._pending.clear()
+        self.sim.trace.emit("chaos.packets.stop", "packet_chaos")
+
+    # -- injection ---------------------------------------------------------
+
+    def _match(self, rules: List[PacketFaultSpec], src: HostId,
+               now: float) -> Optional[PacketFaultSpec]:
+        src_name = str(src)
+        for spec in rules:
+            if spec.src != "*" and spec.src != src_name:
+                continue
+            if spec.start <= now < spec.end:
+                return spec
+        return None
+
+    def _make_tap(self, port):
+        rules = self._rules[port.host_id]
+
+        def tap(packet: Packet) -> bool:
+            if not self._running:
+                return False
+            spec = self._match(rules, packet.src, self.sim.now)
+            if spec is None:
+                return False
+            return self._apply(spec, port, packet)
+
+        return tap
+
+    def _apply(self, spec: PacketFaultSpec, port, packet: Packet) -> bool:
+        """Draw and apply ``spec``'s faults; True if the packet was consumed."""
+        rng = self._rng
+        metrics = self.sim.metrics
+        pkt = packet
+        touched = False
+        if spec.corrupt_prob > 0 and rng.random() < spec.corrupt_prob:
+            mangled = corrupted_copy(packet.payload)
+            if mangled is not None:
+                pkt = packet.fork()
+                pkt.payload = mangled  # type: ignore[assignment]
+                touched = True
+                metrics.counter("chaos.packet.corrupted").inc()
+                self.sim.trace.emit("chaos.packet.corrupt", str(port.host_id),
+                                    src=str(packet.src), packet=packet.packet_id)
+        if spec.dup_prob > 0 and rng.random() < spec.dup_prob:
+            metrics.counter("chaos.packet.duplicated").inc()
+            self._later(port, pkt.fork(), spec.dup_lag)
+        if spec.replay_prob > 0 and rng.random() < spec.replay_prob:
+            metrics.counter("chaos.packet.replayed").inc()
+            self._later(port, pkt.fork(), spec.replay_lag)
+        if spec.delay_prob > 0 and rng.random() < spec.delay_prob:
+            metrics.counter("chaos.packet.delayed").inc()
+            extra = spec.delay * rng.uniform(0.5, 1.5)
+            self.sim.trace.emit("chaos.packet.delay", str(port.host_id),
+                                src=str(packet.src), packet=packet.packet_id,
+                                extra=extra)
+            self._later(port, pkt, extra)
+            return True  # the original does not arrive now
+        if touched:
+            port.inject(pkt)  # corrupted copy replaces the original
+            return True
+        return False  # duplicates/replays ride along; original proceeds
+
+    def _later(self, port, pkt: Packet, delay: float) -> None:
+        """Schedule a tap-bypassing injection, tracked for stop()."""
+
+        def fire() -> None:
+            self._pending.pop(event, None)
+            port.inject(pkt)
+
+        event = self.sim.schedule(delay, fire)
+        self._pending[event] = None

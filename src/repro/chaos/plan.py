@@ -18,7 +18,7 @@ sequence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Tuple
 
 from ..net import (
@@ -30,6 +30,7 @@ from ..net import (
 )
 from ..sim import Simulator
 from .hosts import HostCrashSchedule, HostFlapper
+from .packets import PacketChaos, PacketFaultSpec
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,10 @@ class ChaosSpec:
     partitions: Tuple[PartitionSpec, ...] = ()
     host_churn: Tuple[HostChurnSpec, ...] = ()
     link_churn: Tuple[LinkChurnSpec, ...] = ()
+    #: packet-level faults (corrupt/duplicate/delay/replay); an open
+    #: ``end`` is clamped to ``heal_by``, and the injector is stopped —
+    #: pending injections cancelled — when the horizon arrives
+    packet_faults: Tuple[PacketFaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.heal_by <= 0:
@@ -112,6 +117,11 @@ class ChaosSpec:
         for churn in (*self.host_churn, *self.link_churn):
             if churn.mean_up <= 0 or churn.mean_down <= 0:
                 raise ValueError(f"{churn}: means must be positive")
+        for fault in self.packet_faults:
+            if fault.start >= self.heal_by:
+                raise ValueError(
+                    f"{fault}: starts at or after the heal_by horizon "
+                    f"{self.heal_by}")
 
 
 class ChaosPlan:
@@ -127,6 +137,7 @@ class ChaosPlan:
         self.healed = False
         self._host_flappers: List[HostFlapper] = []
         self._link_flappers: List[LinkFlapper] = []
+        self._packet_chaos: List[PacketChaos] = []
         #: links any churner may leave down at the horizon
         self._churned_links: List[Tuple[str, str]] = []
 
@@ -161,6 +172,12 @@ class ChaosPlan:
                 mean_up=churn.mean_up, mean_down=churn.mean_down,
                 rng_stream=f"{self._rng_prefix}.links.{idx}").start())
             self._churned_links.extend(churn.links)
+        if spec.packet_faults:
+            clamped = tuple(replace(f, end=min(f.end, spec.heal_by))
+                            for f in spec.packet_faults)
+            self._packet_chaos.append(PacketChaos(
+                self.sim, self.network, clamped,
+                rng_stream=f"{self._rng_prefix}.packets").start())
         self.sim.schedule_at(self.spec.heal_by, self._heal)
         self.sim.trace.emit("chaos.start", "plan", heal_by=self.spec.heal_by)
         return self
@@ -171,6 +188,8 @@ class ChaosPlan:
             flapper.heal()
         for flapper in self._link_flappers:
             flapper.stop()
+        for chaos in self._packet_chaos:
+            chaos.stop()
         for a, b in self._churned_links:
             self.network.set_link_state(a, b, up=True)
         self.healed = True

@@ -26,6 +26,7 @@ from .mapstate import MapState
 from .multisource import MultiSourceBroadcastSystem, PortMux, TaggedPayload, VirtualPort
 from .ordering import FifoDeliveryAdapter
 from .piggyback import ControlBundle, PiggybackPort
+from .rtt import CongestionSignal, ExponentialBackoff, PeerRtt, RttEstimator
 from .seqnoset import SeqnoSet, info_equiv, info_leq, info_less
 from .source import SourceHost
 from .wire import (
@@ -36,6 +37,8 @@ from .wire import (
     DataMsg,
     DetachNotice,
     InfoMsg,
+    checksum_ok,
+    corrupted_copy,
 )
 
 __all__ = [
@@ -46,6 +49,7 @@ __all__ = [
     "BroadcastHost",
     "BroadcastSystem",
     "Candidate",
+    "CongestionSignal",
     "ControlBundle",
     "ClusterMode",
     "CostBitMode",
@@ -54,22 +58,27 @@ __all__ = [
     "DeliveryLog",
     "DeliveryRecord",
     "DetachNotice",
+    "ExponentialBackoff",
     "FifoDeliveryAdapter",
     "InfoMsg",
     "KIND_CONTROL",
     "KIND_DATA",
     "MapState",
     "MultiSourceBroadcastSystem",
+    "PeerRtt",
     "PerSenderTransitClassifier",
     "PiggybackPort",
     "PortMux",
     "TaggedPayload",
     "VirtualPort",
     "ProtocolConfig",
+    "RttEstimator",
     "SeqnoSet",
     "SourceHost",
     "TransitTimeClassifier",
+    "checksum_ok",
     "classify_case",
+    "corrupted_copy",
     "info_equiv",
     "info_leq",
     "info_less",

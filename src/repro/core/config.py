@@ -127,6 +127,38 @@ class ProtocolConfig:
     #: prune INFO sets once all hosts are known to have a prefix (Section 6)
     enable_info_pruning: bool = True
 
+    # -- adaptive control plane (repro.core.rtt; DESIGN.md §9) -------------------
+    #: derive attach/parent/gap-fill deadlines from per-peer RTT
+    #: estimates instead of the fixed values above.  Off by default:
+    #: ``adaptive=False`` is the escape hatch that keeps every existing
+    #: trace bit-identical.  The fixed values stay meaningful either
+    #: way — they become the *ceilings* of the adaptive deadlines.
+    adaptive: bool = False
+    #: adaptive deadlines never shrink below this fraction of the
+    #: corresponding fixed value (the floor of the clamp)
+    rto_floor_frac: float = 0.1
+    #: adaptive parent-liveness deadline: this many heartbeat periods
+    #: plus the parent's RTO (clamped to the fixed timeout as ceiling)
+    adaptive_parent_beats: float = 3.0
+    #: adaptive gap-fill retry window: one exchange period plus this
+    #: many RTOs of the target (clamped to ``gapfill_suppression``)
+    gapfill_rto_mult: float = 3.0
+    #: base/cap of the attach-round exponential backoff (applied after
+    #: an attachment round exhausts every candidate)
+    attach_backoff_base: float = 2.0
+    attach_backoff_cap: float = 16.0
+    #: +/- jitter fraction on every backoff delay (decorrelates hosts)
+    backoff_jitter_frac: float = 0.25
+    #: half-life of the congestion signal's decaying receive tallies
+    congestion_window: float = 10.0
+    #: recent bad-receive fraction beyond which optional repair traffic
+    #: (non-neighbor gap fills) is throttled and batches are halved
+    congestion_threshold: float = 0.3
+    #: how long a control message's uid is remembered for duplicate
+    #: suppression (bounds the dedup table; replays older than this are
+    #: caught by the protocol's own idempotence)
+    control_dedup_window: float = 30.0
+
     # -- host crash/recovery (failure model, §2/§4) ------------------------------
     #: a crashing host keeps only messages already flushed to stable
     #: storage: the contiguous delivered prefix minus the most recent
@@ -174,6 +206,22 @@ class ProtocolConfig:
             raise ValueError("transit_spread_factor must exceed 1")
         if self.piggyback_window <= 0:
             raise ValueError("piggyback_window must be positive")
+        if not 0 < self.rto_floor_frac <= 1:
+            raise ValueError("rto_floor_frac must be in (0, 1]")
+        if self.adaptive_parent_beats < 1:
+            raise ValueError("adaptive_parent_beats must be at least 1")
+        if self.gapfill_rto_mult <= 0:
+            raise ValueError("gapfill_rto_mult must be positive")
+        if self.attach_backoff_base <= 0 or self.attach_backoff_cap < self.attach_backoff_base:
+            raise ValueError("need 0 < attach_backoff_base <= attach_backoff_cap")
+        if not 0 <= self.backoff_jitter_frac < 1:
+            raise ValueError("backoff_jitter_frac must be in [0, 1)")
+        if self.congestion_window <= 0:
+            raise ValueError("congestion_window must be positive")
+        if not 0 < self.congestion_threshold < 1:
+            raise ValueError("congestion_threshold must be in (0, 1)")
+        if self.control_dedup_window <= 0:
+            raise ValueError("control_dedup_window must be positive")
         if self.crash_stable_lag < 0:
             raise ValueError("crash_stable_lag must be non-negative")
         if self.data_size_bits < 1 or self.control_size_bits < 1:
@@ -227,4 +275,8 @@ class ProtocolConfig:
             gapfill_suppression=self.gapfill_suppression * factor,
             child_reconcile_grace=self.child_reconcile_grace * factor,
             parent_refresh_timeout=self.parent_refresh_timeout * factor,
+            attach_backoff_base=self.attach_backoff_base * factor,
+            attach_backoff_cap=self.attach_backoff_cap * factor,
+            congestion_window=self.congestion_window * factor,
+            control_dedup_window=self.control_dedup_window * factor,
         )

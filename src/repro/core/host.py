@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..net import HostId, HostPort, Packet
 from ..sim import PeriodicTask, Simulator, Timer
@@ -33,8 +33,16 @@ from .config import ClusterMode, CostBitMode, ProtocolConfig
 from .costinfer import TransitTimeClassifier
 from .delivery import DeliverCallback, DeliveryLog, DeliveryRecord
 from .mapstate import MapState
+from .rtt import CongestionSignal, ExponentialBackoff, PeerRtt
 from .seqnoset import SeqnoSet
-from .wire import AttachAck, AttachRequest, DataMsg, DetachNotice, InfoMsg
+from .wire import (
+    AttachAck,
+    AttachRequest,
+    DataMsg,
+    DetachNotice,
+    InfoMsg,
+    checksum_ok,
+)
 
 OrderFn = Callable[[HostId], int]
 
@@ -103,6 +111,32 @@ class BroadcastHost:
         #: the degradation when they are not.
         self._cost_classifier = TransitTimeClassifier(
             spread_factor=self.config.transit_spread_factor)
+        # -- adaptive control plane (repro.core.rtt; DESIGN.md §9) --------
+        # The estimators and the congestion signal are fed always (pure
+        # bookkeeping, no events, no RNG) but only *consulted* when
+        # config.adaptive is on, so adaptive=False runs are untouched.
+        self._rtt = PeerRtt()
+        self._congestion = CongestionSignal(self.config.congestion_window)
+        self._attach_backoff = ExponentialBackoff(
+            self.config.attach_backoff_base, self.config.attach_backoff_cap,
+            self.config.backoff_jitter_frac,
+            sim.rng.stream(f"host.{self.me}.attach_backoff"))
+        self._gapfill_backoff = ExponentialBackoff(
+            self.config.gapfill_nonneighbor_period,
+            self.config.gapfill_nonneighbor_period * 8,
+            self.config.backoff_jitter_frac,
+            sim.rng.stream(f"host.{self.me}.gapfill_backoff"))
+        #: earliest time a new attachment round / non-neighbor fill may run
+        self._attach_resume_at = 0.0
+        self._gapfill_resume_at = 0.0
+        #: when the current AttachRequest was sent (RTT sample on its ack)
+        self._attach_sent_at = 0.0
+        #: peer -> (peer's stamp, local receive time); echoed once on the
+        #: next InfoMsg to that peer (the NTP-style RTT exchange)
+        self._info_stamps: Dict[HostId, Tuple[float, float]] = {}
+        #: (sender, uid) -> receive time; duplicate-control suppression
+        self._seen_control: Dict[Tuple[HostId, int], float] = {}
+        self._seen_control_sweep = 0.0
 
         port.set_receiver(self._on_packet)
         self._ack_timer = Timer(sim, self._on_attach_timeout, name=f"{self.me}.ack")
@@ -222,6 +256,16 @@ class BroadcastHost:
         self._parent_progress_at = 0.0
         self._cost_classifier = TransitTimeClassifier(
             spread_factor=self.config.transit_spread_factor)
+        # Adaptive-plane state is volatile too: stale RTT estimates,
+        # held echo stamps, and the dedup table all die with the host.
+        self._rtt = PeerRtt()
+        self._congestion = CongestionSignal(self.config.congestion_window)
+        self._attach_backoff.reset()
+        self._gapfill_backoff.reset()
+        self._attach_resume_at = 0.0
+        self._gapfill_resume_at = 0.0
+        self._info_stamps.clear()
+        self._seen_control.clear()
         self.sim.trace.emit("host.crash", str(self.me), stable_prefix=stable,
                             lost=lost_info)
         self.sim.metrics.counter("proto.host.crash").inc()
@@ -278,10 +322,40 @@ class BroadcastHost:
             self.sim.metrics.counter("proto.host.drop_crashed").inc()
             return
         sender = packet.src
+        payload = packet.payload
+        # Wire hardening: a payload whose checksum does not validate is
+        # dropped before it touches *any* protocol state — a corrupted
+        # message may not even be from who it claims to be from.
+        if not checksum_ok(payload):
+            self.sim.trace.emit("host.drop_corrupt", str(self.me),
+                                src=str(sender), payload_kind=packet.kind)
+            self.sim.metrics.counter("proto.wire.corrupt_dropped").inc()
+            self._congestion.note_bad(self.sim.now)
+            return
+        # Duplicate-control suppression: link-level duplicates and
+        # replayed control messages share the original payload's uid.
+        # Without this, a replayed AttachAck can re-wedge the handshake
+        # and duplicated InfoMsgs double-feed the RTT echo.
+        uid = getattr(payload, "uid", None)
+        if uid is not None:
+            key = (sender, uid)
+            now = self.sim.now
+            horizon = now - self.config.control_dedup_window
+            if self._seen_control.get(key, float("-inf")) > horizon:
+                self.sim.trace.emit("host.drop_dup_control", str(self.me),
+                                    src=str(sender), payload_kind=packet.kind)
+                self.sim.metrics.counter("proto.wire.dup_suppressed").inc()
+                self._congestion.note_bad(now)
+                return
+            self._seen_control[key] = now
+            if now - self._seen_control_sweep > self.config.control_dedup_window:
+                self._seen_control_sweep = now
+                self._seen_control = {k: t for k, t in self._seen_control.items()
+                                      if t > horizon}
+        self._congestion.note_good(self.sim.now)
         self.cluster.observe(sender, self._expensive_delivery(packet))
         if sender == self.parent:
             self._arm_parent_timer()
-        payload = packet.payload
         if isinstance(payload, DataMsg):
             self._on_data(payload, sender)
         elif isinstance(payload, InfoMsg):
@@ -323,6 +397,7 @@ class BroadcastHost:
             self.sim.trace.emit("host.discard_data", str(self.me), seq=msg.seq,
                                 sender=str(sender), reason="duplicate")
             self.sim.metrics.counter("proto.data.discard.duplicate").inc()
+            self._congestion.note_bad(self.sim.now)
             return
         new_max = msg.seq > self.info.max_seqno
         if new_max and sender != self.parent:
@@ -392,6 +467,17 @@ class BroadcastHost:
     # ------------------------------------------------------------------
 
     def _on_info(self, msg: InfoMsg, sender: HostId) -> None:
+        now = self.sim.now
+        if msg.stamp >= 0.0:
+            # Hold the sender's stamp; our next InfoMsg to it echoes it.
+            self._info_stamps[sender] = (msg.stamp, now)
+        if msg.echo_stamp >= 0.0:
+            # Our own stamp coming back: rtt = elapsed minus the time the
+            # peer held it.  Both endpoints of the subtraction are in our
+            # clock (NTP-style), so sender clock skew cancels out.
+            sample = (now - msg.echo_stamp) - msg.echo_hold
+            if sample >= 0.0:
+                self._rtt.observe(sender, sample)
         self.maps.apply_info(sender, msg.info, msg.parent)
         grace = self.config.child_reconcile_grace
         if (self.config.enable_child_reconcile
@@ -407,20 +493,29 @@ class BroadcastHost:
                                 child=str(sender))
             self.sim.metrics.counter("proto.children.reconciled").inc()
 
-    def _info_payload(self) -> InfoMsg:
+    def _info_payload_for(self, dst: HostId) -> InfoMsg:
+        # Each destination gets its own stamp, plus (once) the echo of
+        # its most recent stamp so *it* can sample the round trip.
+        echo_stamp, echo_hold = -1.0, 0.0
+        held = self._info_stamps.pop(dst, None)
+        if held is not None:
+            echo_stamp = held[0]
+            echo_hold = self.sim.now - held[1]
         return InfoMsg(sender=self.me, info=self.info, parent=self.parent,
-                       size_bits=self.config.control_size_bits)
+                       size_bits=self.config.control_size_bits,
+                       stamp=self.sim.now, echo_stamp=echo_stamp,
+                       echo_hold=echo_hold)
 
     def _info_intra_tick(self) -> None:
         for j in sorted(self.cluster.neighbors()):
-            self.port.send(j, self._info_payload())
+            self.port.send(j, self._info_payload_for(j))
             self.sim.metrics.counter("proto.info.sent.intra").inc()
 
     def _info_inter_tick(self) -> None:
         for j in self.participants:
             if j in self.cluster:
                 continue
-            self.port.send(j, self._info_payload())
+            self.port.send(j, self._info_payload_for(j))
             self.sim.metrics.counter("proto.info.sent.inter").inc()
         self._maybe_prune()
 
@@ -463,9 +558,17 @@ class BroadcastHost:
         """
         view = self.maps.info_of(target)
         recent = self._recent_fills.setdefault(target, {})
-        batch_limit = (self.config.gapfill_batch_limit if target in self.cluster
+        intra = target in self.cluster
+        batch_limit = (self.config.gapfill_batch_limit if intra
                        else self.config.gapfill_batch_limit_inter)
-        horizon = self.sim.now - self.config.gapfill_suppression
+        if self.config.adaptive:
+            if self._congested():
+                # Graceful degradation: when receives are going bad,
+                # smaller repair batches — never a bigger retry storm.
+                batch_limit = max(1, batch_limit // 2)
+            horizon = self.sim.now - self._gapfill_retry_window(target, intra)
+        else:
+            horizon = self.sim.now - self.config.gapfill_suppression
         target_max = view.max_seqno
         # Only the target's parent may usefully send messages numbered
         # above the target's maximum: receivers enforce the paper's rule
@@ -490,6 +593,26 @@ class BroadcastHost:
                 break
         return sent
 
+    def _congested(self) -> bool:
+        return (self._congestion.level(self.sim.now)
+                > self.config.congestion_threshold)
+
+    def _gapfill_retry_window(self, target: HostId, intra: bool) -> float:
+        """Adaptive (target, seq) re-send suppression window.
+
+        One INFO-exchange period (so the target's advertisement can
+        catch up) plus a few RTOs of the target (so a genuinely lost
+        fill is retried as soon as the round trip allows), clamped to
+        the fixed ``gapfill_suppression`` as ceiling and a fraction of
+        it as floor.
+        """
+        cfg = self.config
+        period = cfg.info_intra_period if intra else cfg.info_inter_period
+        fixed = cfg.gapfill_suppression
+        window = period + cfg.gapfill_rto_mult * self._rtt.rto(
+            target, floor=0.0, ceiling=fixed)
+        return min(max(window, cfg.rto_floor_frac * fixed), fixed)
+
     def _gapfill_neighbors_intra_tick(self) -> None:
         for neighbor in sorted(self.neighbors()):
             if neighbor in self.cluster:
@@ -501,6 +624,23 @@ class BroadcastHost:
                 self._fill_gaps_of(neighbor)
 
     def _gapfill_nonneighbors_tick(self) -> None:
+        if self.config.adaptive:
+            now = self.sim.now
+            if now < self._gapfill_resume_at:
+                self.sim.metrics.counter("proto.gapfill.throttled").inc()
+                return
+            if self._congested():
+                # Non-neighbor filling is the protocol's *optional*
+                # repair traffic; under congestion it backs off
+                # exponentially rather than piling on (retry storms are
+                # what the congestion signal exists to prevent).
+                delay = self._gapfill_backoff.next_delay()
+                self._gapfill_resume_at = now + delay
+                self.sim.trace.emit("host.gapfill_throttle", str(self.me),
+                                    resume_in=delay)
+                self.sim.metrics.counter("proto.gapfill.throttled").inc()
+                return
+            self._gapfill_backoff.reset()
         neighbors = self.neighbors()
         for j in self.participants:
             if j not in neighbors:
@@ -520,6 +660,8 @@ class BroadcastHost:
     def _attachment_tick(self) -> None:
         if self._pending is not None:
             return  # one handshake at a time
+        if self.config.adaptive and self.sim.now < self._attach_resume_at:
+            return  # backing off after an exhausted round
         self._maybe_refresh_parent()
         plan = plan_attachment(self._attachment_view())
         if plan.cycle_detected:
@@ -556,7 +698,22 @@ class BroadcastHost:
                             target=str(candidate.target), case=candidate.case,
                             option=candidate.option, attempt=self._pending.attempt)
         self.sim.metrics.counter("proto.attach.requests").inc()
-        self._ack_timer.start(self.config.attach_ack_timeout)
+        self._attach_sent_at = self.sim.now
+        self._ack_timer.start(self._attach_timeout_value(candidate.target))
+
+    def _attach_timeout_value(self, target: HostId) -> float:
+        """How long to wait for ``target``'s AttachAck.
+
+        Adaptive: the peer's RTO (Jacobson/Karn, backed off per Karn
+        after timeouts), clamped between a fraction of the fixed
+        timeout and the fixed timeout itself.  An unmeasured peer gets
+        exactly the fixed timeout.
+        """
+        fixed = self.config.attach_ack_timeout
+        if not self.config.adaptive:
+            return fixed
+        return self._rtt.rto(target, floor=self.config.rto_floor_frac * fixed,
+                             ceiling=fixed)
 
     def _maybe_refresh_parent(self) -> None:
         """Re-request attachment from a parent that stopped serving us.
@@ -586,6 +743,7 @@ class BroadcastHost:
         target = self._pending.current.target
         self.sim.trace.emit("host.attach_timeout", str(self.me), target=str(target))
         self.sim.metrics.counter("proto.attach.timeouts").inc()
+        self._rtt.on_timeout(target)  # Karn: back the peer's RTO off
         # The candidate may have registered us and lost the ack; tell it
         # to forget us so it does not keep feeding a phantom child.
         self.port.send(target, DetachNotice(
@@ -594,6 +752,15 @@ class BroadcastHost:
         self._pending.attempt = next(self._attempt_counter)
         if self._pending.index >= len(self._pending.candidates):
             self._pending = None  # exhausted; wait for the next period
+            if self.config.adaptive:
+                # Every candidate timed out — either they are all down
+                # or the path is melting.  Back off with jitter instead
+                # of hammering the same list every attachment period.
+                delay = self._attach_backoff.next_delay()
+                self._attach_resume_at = self.sim.now + delay
+                self.sim.trace.emit("host.attach_backoff", str(self.me),
+                                    resume_in=delay)
+                self.sim.metrics.counter("proto.attach.backoff").inc()
             return
         self._send_attach_request()
 
@@ -630,6 +797,11 @@ class BroadcastHost:
                     child=self.me, size_bits=self.config.control_size_bits))
             return
         candidate = pending.current
+        # An unambiguous round trip (the attempt counter is Karn's
+        # rule): request sent at _attach_sent_at, matching ack now.
+        self._rtt.observe(sender, self.sim.now - self._attach_sent_at)
+        self._attach_backoff.reset()
+        self._attach_resume_at = 0.0
         self._ack_timer.cancel()
         self._pending = None
         old_parent = self.parent
@@ -657,9 +829,18 @@ class BroadcastHost:
     # ------------------------------------------------------------------
 
     def _parent_timeout_value(self) -> float:
-        if self.parent in self.cluster:
-            return self.config.parent_timeout_intra
-        return self.config.parent_timeout_inter
+        cfg = self.config
+        intra = self.parent in self.cluster
+        fixed = cfg.parent_timeout_intra if intra else cfg.parent_timeout_inter
+        if not cfg.adaptive or self.parent is None:
+            return fixed
+        # The parent heartbeats (InfoMsg) once per exchange period:
+        # allow a few missed beats plus one RTO of slack, but never
+        # wait longer than the fixed timeout would have.
+        period = cfg.info_intra_period if intra else cfg.info_inter_period
+        deadline = (cfg.adaptive_parent_beats * period
+                    + self._rtt.rto(self.parent, floor=0.0, ceiling=fixed))
+        return min(max(deadline, cfg.rto_floor_frac * fixed), fixed)
 
     def _arm_parent_timer(self) -> None:
         if self.parent is not None:

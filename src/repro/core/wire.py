@@ -7,7 +7,9 @@ Five message types implement the whole protocol:
   time (the timestamp the paper suggests for transit-time estimation;
   we use it for delay accounting).
 * :class:`InfoMsg` — the periodic INFO-set + parent-pointer exchange
-  (Section 4.2).  Doubles as the liveness heartbeat.
+  (Section 4.2).  Doubles as the liveness heartbeat, and carries the
+  NTP-style ``stamp``/``echo_stamp``/``echo_hold`` triple that feeds
+  the adaptive control plane's RTT estimators (:mod:`repro.core.rtt`).
 * :class:`AttachRequest` / :class:`AttachAck` — the attachment
   handshake.  The request carries the child's INFO set so the new
   parent can immediately fill its gaps (Section 4.4); the ack carries
@@ -18,12 +20,29 @@ All payloads are frozen dataclasses satisfying the network's
 :class:`repro.net.message.Payload` protocol.  INFO sets are *copied* at
 construction: a payload must be an immutable snapshot, not an alias of
 live mutable host state.
+
+Wire hardening
+--------------
+
+Every payload carries a ``checksum`` over its semantic fields — the
+tuple hash of a fully *numeric* canonical (strings pre-folded through
+CRC-32), which is deterministic across processes because Python only
+randomizes str/bytes hashing — computed at construction.  Receivers
+call :func:`checksum_ok` and drop-and-count mismatches, so a corrupted
+message can garble *one* delivery but never wedge protocol state.
+Control payloads additionally carry a ``uid`` unique per construction;
+link-level duplicates and chaos-injected replays share the original's
+``uid`` (packet forks share the payload object), which is what the
+host's duplicate-control suppression keys on.  :func:`corrupted_copy`
+is the injection helper chaos uses to flip a payload's checksum.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import itertools
+import zlib
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from ..net import HostId
 from .seqnoset import SeqnoSet
@@ -32,9 +51,76 @@ from .seqnoset import SeqnoSet
 KIND_DATA = "data"
 KIND_CONTROL = "control"
 
+#: sentinel meaning "compute the checksum at construction"
+_AUTO = -1
+
+_uids = itertools.count(1)
+
 
 def _snapshot(info: SeqnoSet) -> SeqnoSet:
     return info.copy()
+
+
+def _info_canonical(info: SeqnoSet) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
+    return (info.floor, tuple(info.ranges()))
+
+
+#: cached CRC-32 per string — host names and type tags repeat endlessly,
+#: and folding them to ints keeps the canonical tuples fully numeric
+_str_crc: dict = {}
+
+
+def _scrc(s: str) -> int:
+    value = _str_crc.get(s)
+    if value is None:
+        value = _str_crc[s] = zlib.crc32(s.encode("utf-8"))
+    return value
+
+
+def _host_crc(host: Optional[HostId]) -> int:
+    return -1 if host is None else _scrc(host.name)
+
+
+def _content_crc(content: object) -> int:
+    """CRC-32 of a data payload's content rendering (uncached: contents
+    are arbitrary application objects, unbounded in cardinality)."""
+    return zlib.crc32(repr(content).encode("utf-8"))
+
+
+def compute_checksum(canonical: object) -> int:
+    """32-bit checksum of a canonical field tuple.
+
+    The wire payloads build *numeric* canonicals (strings pre-folded
+    through CRC-32 by :func:`_scrc`), for which Python's tuple hash is
+    both C-fast and stable across processes — only str/bytes hashing is
+    randomized.  This is the per-construction and per-receive hot path,
+    which is why it is not a CRC over a ``repr`` rendering.
+    """
+    return hash(canonical) & 0xFFFFFFFF
+
+
+def checksum_ok(payload: object) -> bool:
+    """Validate a payload's checksum; payloads without one pass."""
+    expected = getattr(payload, "checksum", None)
+    if expected is None:
+        return True
+    canonical = getattr(payload, "_canonical", None)
+    if canonical is None:  # pragma: no cover - all wire payloads have it
+        return True
+    return expected == compute_checksum(canonical())
+
+
+def corrupted_copy(payload: object) -> Optional[object]:
+    """A copy of ``payload`` whose checksum no longer validates.
+
+    Models in-flight bit corruption at the receiver-visible level.
+    Returns None for payloads without a checksum field (nothing to
+    corrupt detectably — e.g. a piggyback bundle; its inner messages
+    are checksummed individually).
+    """
+    if getattr(payload, "checksum", None) is None:
+        return None
+    return replace(payload, checksum=payload.checksum ^ 0x5A5A5A5A)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -53,6 +139,15 @@ class DataMsg:
     origin: HostId
     gapfill: bool = False
     size_bits: int = 8_000
+    checksum: int = _AUTO
+
+    def __post_init__(self) -> None:
+        if self.checksum == _AUTO:
+            object.__setattr__(self, "checksum", compute_checksum(self._canonical()))
+
+    def _canonical(self) -> tuple:
+        return (_scrc("data"), self.seq, _content_crc(self.content),
+                self.created_at, _host_crc(self.origin), self.gapfill)
 
     @property
     def kind(self) -> str:
@@ -62,15 +157,38 @@ class DataMsg:
 
 @dataclass(frozen=True)
 class InfoMsg:
-    """Periodic INFO-set and parent-pointer exchange (also a heartbeat)."""
+    """Periodic INFO-set and parent-pointer exchange (also a heartbeat).
+
+    ``stamp`` is the sender's clock at send time; ``echo_stamp`` /
+    ``echo_hold`` return the destination's most recent stamp together
+    with how long it was held before being echoed.  The receiver of the
+    echo computes ``rtt = (now - echo_stamp) - echo_hold`` entirely in
+    its own clock — the skew-immune NTP arrangement — which feeds the
+    per-peer estimators of :mod:`repro.core.rtt`.  A negative stamp
+    means "no sample" (e.g. pre-adaptive senders).
+    """
 
     sender: HostId
     info: SeqnoSet
     parent: Optional[HostId]
     size_bits: int = 1_000
+    stamp: float = -1.0
+    echo_stamp: float = -1.0
+    echo_hold: float = 0.0
+    uid: int = 0
+    checksum: int = _AUTO
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "info", _snapshot(self.info))
+        if self.uid == 0:
+            object.__setattr__(self, "uid", next(_uids))
+        if self.checksum == _AUTO:
+            object.__setattr__(self, "checksum", compute_checksum(self._canonical()))
+
+    def _canonical(self) -> tuple:
+        return (_scrc("info"), _host_crc(self.sender),
+                _info_canonical(self.info), _host_crc(self.parent),
+                self.stamp, self.echo_stamp, self.echo_hold, self.uid)
 
     @property
     def kind(self) -> str:
@@ -87,9 +205,19 @@ class AttachRequest:
     #: monotone per-child counter so stale acks can be recognized
     attempt: int = 0
     size_bits: int = 1_000
+    uid: int = 0
+    checksum: int = _AUTO
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "child_info", _snapshot(self.child_info))
+        if self.uid == 0:
+            object.__setattr__(self, "uid", next(_uids))
+        if self.checksum == _AUTO:
+            object.__setattr__(self, "checksum", compute_checksum(self._canonical()))
+
+    def _canonical(self) -> tuple:
+        return (_scrc("attach_req"), _host_crc(self.child),
+                _info_canonical(self.child_info), self.attempt, self.uid)
 
     @property
     def kind(self) -> str:
@@ -106,9 +234,20 @@ class AttachAck:
     parent_info: SeqnoSet
     parent_parent: Optional[HostId]
     size_bits: int = 1_000
+    uid: int = 0
+    checksum: int = _AUTO
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "parent_info", _snapshot(self.parent_info))
+        if self.uid == 0:
+            object.__setattr__(self, "uid", next(_uids))
+        if self.checksum == _AUTO:
+            object.__setattr__(self, "checksum", compute_checksum(self._canonical()))
+
+    def _canonical(self) -> tuple:
+        return (_scrc("attach_ack"), _host_crc(self.parent), self.attempt,
+                _info_canonical(self.parent_info),
+                _host_crc(self.parent_parent), self.uid)
 
     @property
     def kind(self) -> str:
@@ -122,6 +261,17 @@ class DetachNotice:
 
     child: HostId
     size_bits: int = 1_000
+    uid: int = 0
+    checksum: int = _AUTO
+
+    def __post_init__(self) -> None:
+        if self.uid == 0:
+            object.__setattr__(self, "uid", next(_uids))
+        if self.checksum == _AUTO:
+            object.__setattr__(self, "checksum", compute_checksum(self._canonical()))
+
+    def _canonical(self) -> tuple:
+        return (_scrc("detach"), _host_crc(self.child), self.uid)
 
     @property
     def kind(self) -> str:

@@ -1082,6 +1082,99 @@ def run_e20_host_churn(seed: int = 18, clusters: int = 3,
     return result
 
 
+#: E21 operating points: (label, trunk loss, corrupt, delay_prob, delay,
+#: replay_prob).  Ordered mildest -> harshest; the last two are the
+#: "harshest points" the acceptance criterion names.
+E21_POINTS: Tuple[Tuple[str, float, float, float, float, float], ...] = (
+    ("clean", 0.00, 0.00, 0.0, 0.0, 0.00),
+    ("loss", 0.08, 0.00, 0.0, 0.0, 0.00),
+    ("corrupt", 0.00, 0.10, 0.0, 0.0, 0.05),
+    ("skew", 0.00, 0.00, 0.3, 0.8, 0.00),
+    ("loss+corrupt", 0.10, 0.08, 0.0, 0.0, 0.05),
+    ("harsh", 0.15, 0.10, 0.3, 0.8, 0.05),
+)
+
+
+def run_e21_adversarial_timing(seed: int = 21, clusters: int = 3,
+                               hosts_per_cluster: int = 2, n: int = 30,
+                               interval: float = 1.0, heal_by: float = 40.0,
+                               measure_at: float = 60.0,
+                               horizon: float = 600.0,
+                               points: Optional[Sequence] = None,
+                               ) -> ExperimentResult:
+    """E21: adversarial packet timing — fixed vs adaptive control plane.
+
+    A loss x corruption x delay-skew sweep: trunks drop packets, a
+    :class:`~repro.chaos.PacketChaos` injector corrupts, delays, and
+    replays wire messages at every host, and two scheduled host outages
+    provide a recovery-time probe.  Each operating point runs the
+    *identical seed* under the fixed-timeout config and under
+    ``adaptive=True`` (RTT-estimated deadlines, backoff with jitter,
+    congestion-aware gap filling), so the only difference is the
+    control plane.  ``delivered`` is the system-wide delivered fraction
+    at ``measure_at`` (before unlimited catch-up time); recovery is
+    crash -> first post-recovery delivery via the InvariantMonitor.
+    """
+    from ..chaos import ChaosPlan, ChaosSpec, HostOutageSpec, PacketFaultSpec
+    from ..verify import InvariantMonitor
+
+    result = ExperimentResult(
+        "E21", "Adversarial packet timing: fixed vs adaptive control plane",
+        ["point", "mode", "delivered", "recovery_mean_s", "control_msgs",
+         "corrupt_dropped", "dup_suppressed", "attach_timeouts"])
+    n_hosts = clusters * hosts_per_cluster
+    for point in (points if points is not None else E21_POINTS):
+        label, loss, corrupt, delay_prob, delay, replay = point
+        for mode in ("fixed", "adaptive"):
+            sim = Simulator(seed=seed)
+            built = wan_of_lans(
+                sim, clusters=clusters, hosts_per_cluster=hosts_per_cluster,
+                backbone="line", expensive=expensive_spec(loss_prob=loss))
+            config = _tree_config(n_hosts, crash_stable_lag=1,
+                                  adaptive=(mode == "adaptive"))
+            system = BroadcastSystem(built, config=config).start()
+            monitor = InvariantMonitor(system, sample_period=1.0,
+                                       stable_window=20.0).start()
+            # Two mid-stream outages give every point a recovery probe;
+            # ends stay well before heal_by so recovery happens *under*
+            # the packet faults, where the control planes differ.
+            victims = [str(h) for h in built.hosts if h != system.source_id]
+            faults = ()
+            if corrupt or delay_prob or replay:
+                faults = (PacketFaultSpec(
+                    start=2.0, end=heal_by, corrupt_prob=corrupt,
+                    delay_prob=delay_prob, delay=delay,
+                    replay_prob=replay, replay_lag=2.0),)
+            ChaosPlan(sim, system, ChaosSpec(
+                heal_by=heal_by,
+                host_outages=(HostOutageSpec(victims[1], 10.0, 14.0),
+                              HostOutageSpec(victims[-1], 18.0, 22.0)),
+                packet_faults=faults)).start()
+            system.broadcast_stream(n, interval=interval, start_at=2.0)
+            sim.run(until=measure_at)
+            delivered = delivery_fraction(system.delivery_records(), n,
+                                          system.source_id)
+            system.run_until_delivered(n, timeout=horizon)
+            monitor.stop()
+            times = monitor.report().recovery_times()
+            metrics = sim.metrics
+            result.add_row(
+                point=label, mode=mode, delivered=delivered,
+                recovery_mean_s=(sum(times) / len(times)
+                                 if times else float("nan")),
+                control_msgs=metrics.counter("net.h2h.sent.kind.control").value,
+                corrupt_dropped=metrics.counter(
+                    "proto.wire.corrupt_dropped").value,
+                dup_suppressed=metrics.counter(
+                    "proto.wire.dup_suppressed").value,
+                attach_timeouts=metrics.counter("proto.attach.timeouts").value)
+    result.note("seed-matched pairs: each point runs the identical seed, "
+                "topology, chaos schedule, and workload under both control "
+                "planes; delivered is the fraction at measure_at, recovery "
+                "is crash -> first post-recovery delivery")
+    return result
+
+
 #: registry used by the CLI and by EXPERIMENTS.md generation
 ALL_RUNNERS = {
     "E1": run_e1_cost,
@@ -1105,4 +1198,5 @@ ALL_RUNNERS = {
     "E18": run_e18_relative_reliability,
     "E19": run_e19_hierarchical,
     "E20": run_e20_host_churn,
+    "E21": run_e21_adversarial_timing,
 }

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
-from ..sim import Simulator
+from ..sim import Event, Simulator
 from .addressing import HostId, LinkId
 from .topology import Network
 
@@ -101,32 +101,46 @@ class LinkFlapper:
         self.mean_down = mean_down
         self._rng = sim.rng.stream(rng_stream)
         self._running = False
+        #: per-link pending transition event, cancelled on stop() so a
+        #: stopped flapper can never flip a link afterwards
+        self._pending: Dict[LinkId, Event] = {}
 
     def start(self) -> "LinkFlapper":
         """Start periodic activity; returns self for chaining."""
         self._running = True
         for link_id in self.links:
-            self.sim.schedule(self._rng.expovariate(1.0 / self.mean_up),
-                              self._fail, link_id)
+            self._arm(self.mean_up, self._fail, link_id)
         return self
 
     def stop(self) -> None:
-        """Stop generating new transitions (pending ones may still fire)."""
+        """Stop all transitions, including any already scheduled.
+
+        Pending fail/repair events are cancelled — without that, a
+        timer armed before stop() could flip a link *after* a chaos
+        plan's heal-by horizon and break its guarantee.
+        """
         self._running = False
+        for event in self._pending.values():
+            self.sim.try_cancel(event)
+        self._pending.clear()
+
+    def _arm(self, mean: float, action, link_id: LinkId) -> None:
+        self._pending[link_id] = self.sim.schedule(
+            self._rng.expovariate(1.0 / mean), action, link_id)
 
     def _fail(self, link_id: LinkId) -> None:
         if not self._running:
             return
+        self._pending.pop(link_id, None)
         self.network.set_link_state(link_id.a, link_id.b, up=False)
-        self.sim.schedule(self._rng.expovariate(1.0 / self.mean_down),
-                          self._repair, link_id)
+        self._arm(self.mean_down, self._repair, link_id)
 
     def _repair(self, link_id: LinkId) -> None:
         if not self._running:
             return
+        self._pending.pop(link_id, None)
         self.network.set_link_state(link_id.a, link_id.b, up=True)
-        self.sim.schedule(self._rng.expovariate(1.0 / self.mean_up),
-                          self._fail, link_id)
+        self._arm(self.mean_up, self._fail, link_id)
 
 
 class ServerOutageSchedule:

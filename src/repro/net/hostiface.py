@@ -21,6 +21,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 ReceiveFn = Callable[[Packet], None]
 
+#: A delivery tap: sees each inbound packet *before* receive accounting;
+#: returning True consumes the packet (the tap is responsible for any
+#: later re-injection via :meth:`HostPort.inject`).
+TapFn = Callable[[Packet], bool]
+
 
 class HostPort:
     """A host's attachment point: one access link to one server."""
@@ -39,6 +44,8 @@ class HostPort:
         self.access_link = access_link
         self.network = network
         self._on_receive: Optional[ReceiveFn] = None
+        #: optional inbound tap (chaos injection hook); see :data:`TapFn`
+        self.tap: Optional[TapFn] = None
         self._name = str(host_id)
         # Hot-path metric handles (see DESIGN.md), created lazily so an
         # idle port registers nothing.
@@ -91,7 +98,24 @@ class HostPort:
     # -- receiving ----------------------------------------------------------
 
     def deliver_from_network(self, packet: Packet) -> None:
-        """Called by the access link when a packet reaches this host."""
+        """Called by the access link when a packet reaches this host.
+
+        If a tap is installed it sees the packet first; a tap that
+        returns True has consumed it (dropped, delayed, mutated...) and
+        re-enters whatever it wants delivered through :meth:`inject`.
+        """
+        tap = self.tap
+        if tap is not None and tap(packet):
+            return
+        self.inject(packet)
+
+    def inject(self, packet: Packet) -> None:
+        """Deliver ``packet`` to the host, bypassing the tap.
+
+        This is the tap's re-entry point (and does all the receive
+        accounting), so delayed/duplicated/replayed packets cannot
+        recurse into the tap that produced them.
+        """
         kind = packet.kind
         trace = self.sim.trace
         if trace.active:

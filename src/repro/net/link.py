@@ -57,6 +57,27 @@ class LinkSpec:
     #: drop-tail limit on packets queued per direction (switch buffer)
     queue_limit: int = 128
 
+    def __post_init__(self) -> None:
+        # Out-of-range probabilities do not fail loudly on their own —
+        # loss_prob=1.2 silently drops everything, dup_prob=-1 silently
+        # never duplicates — so reject them at construction.
+        for name in ("loss_prob", "dup_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{name} must be a probability in [0, 1], got {value}")
+        if self.reorder_jitter < 0.0:
+            raise ValueError(
+                f"reorder_jitter must be non-negative, got {self.reorder_jitter}")
+        if self.latency < 0.0:
+            raise ValueError(f"latency must be non-negative, got {self.latency}")
+        if self.bandwidth_bps <= 0.0:
+            raise ValueError(
+                f"bandwidth_bps must be positive, got {self.bandwidth_bps}")
+        if self.queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be at least 1, got {self.queue_limit}")
+
     @property
     def expensive(self) -> bool:
         """True for low-bandwidth (long-haul) links."""

@@ -186,6 +186,45 @@ def _run_e20_churn(quick: bool, seed: int) -> ScenarioRun:
                              "messages": n, "heal_by": heal_by})
 
 
+def _run_e21_adversarial(quick: bool, seed: int) -> ScenarioRun:
+    """E21-shaped workload: adaptive control plane under packet chaos.
+
+    Exercises the RTT estimators, backoff paths, checksum validation,
+    and the PacketChaos tap — the code this scenario exists to keep
+    honest.  Trunk loss plus corruption/delay/replay faults, adaptive
+    timeouts on.
+    """
+    from ..chaos import ChaosPlan, ChaosSpec, HostOutageSpec, PacketFaultSpec
+    from ..core import BroadcastSystem, ProtocolConfig
+    from ..net import expensive_spec, wan_of_lans
+
+    clusters, hosts = (2, 2) if quick else (3, 2)
+    n = 10 if quick else 20
+    heal_by = 20.0 if quick else 40.0
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=clusters, hosts_per_cluster=hosts,
+                        backbone="line",
+                        expensive=expensive_spec(loss_prob=0.10))
+    config = ProtocolConfig.for_scale(clusters * hosts,
+                                      data_size_bits=_DATA_BITS,
+                                      crash_stable_lag=1, adaptive=True)
+    system = BroadcastSystem(built, config=config).start()
+    victims = [str(h) for h in built.hosts if h != system.source_id]
+    ChaosPlan(sim, system, ChaosSpec(
+        heal_by=heal_by,
+        host_outages=(HostOutageSpec(victims[-1], 8.0, 12.0),),
+        packet_faults=(PacketFaultSpec(
+            start=2.0, end=heal_by, corrupt_prob=0.08, delay_prob=0.2,
+            delay=0.6, replay_prob=0.05, replay_lag=2.0),),
+    )).start()
+    system.broadcast_stream(n, interval=1.0, start_at=2.0)
+    sim.run(until=heal_by + 1.0)
+    system.run_until_delivered(n, timeout=400.0)
+    return ScenarioRun(sim=sim, system=system,
+                       meta={"clusters": clusters, "hosts_per_cluster": hosts,
+                             "messages": n, "heal_by": heal_by})
+
+
 #: the pinned matrix, in execution order
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
@@ -202,5 +241,8 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("e20_churn",
                  "host crash/recovery churn while streaming (E20 shape)",
                  _run_e20_churn, default_seed=18),
+        Scenario("e21_adversarial",
+                 "adaptive control plane under packet chaos (E21 shape)",
+                 _run_e21_adversarial, default_seed=21),
     )
 }

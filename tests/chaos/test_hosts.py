@@ -86,3 +86,21 @@ def test_host_flapper_validates():
         HostFlapper(sim, system, mean_up=0.0)
     with pytest.raises(ValueError):
         HostFlapper(sim, system, hosts=[])
+
+
+def test_host_flapper_stop_cancels_pending_transitions():
+    """stop() must cancel already-armed crash/recover timers — a timer
+    left armed could crash a host after a chaos plan's heal-by horizon."""
+    sim, built, system = build_system()
+    flapper = HostFlapper(sim, system, mean_up=2.0, mean_down=1.0).start()
+    sim.run(until=10.0)
+    pending = list(flapper._pending.values())
+    assert pending  # every managed host has its next transition armed
+    flapper.heal()
+    assert not flapper._pending
+    assert all(event.cancelled for event in pending)
+    # No transition ever fires again: hosts stay up forever.
+    downs = sim.metrics.counter("net.failures.host.down").value
+    sim.run(until=200.0)
+    assert sim.metrics.counter("net.failures.host.down").value == downs
+    assert system.crashed_hosts() == []

@@ -1,0 +1,143 @@
+"""Tests for adversarial packet-level fault injection (PacketChaos)."""
+
+import pytest
+
+from repro.chaos import ChaosPlan, ChaosSpec, PacketChaos, PacketFaultSpec
+from repro.core import BroadcastSystem, ProtocolConfig
+from repro.net import wan_of_lans
+from repro.sim import Simulator
+
+
+def build_system(seed=1, k=2, m=2, **config_overrides):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m,
+                        backbone="line", convergence_delay=0.0)
+    system = BroadcastSystem(built, config=ProtocolConfig.for_scale(
+        k * m, **config_overrides))
+    return sim, built, system.start()
+
+
+def run_stream(sim, system, n=5, until=60.0):
+    system.broadcast_stream(n, interval=1.0, start_at=2.0)
+    sim.run(until=until)
+    return system
+
+
+def test_spec_validates_probabilities_and_windows():
+    with pytest.raises(ValueError):
+        PacketFaultSpec(corrupt_prob=1.5)
+    with pytest.raises(ValueError):
+        PacketFaultSpec(dup_prob=-0.1)
+    with pytest.raises(ValueError):
+        PacketFaultSpec(delay=-1.0)
+    with pytest.raises(ValueError):
+        PacketFaultSpec(start=5.0, end=5.0)
+
+
+def test_corruption_is_detected_and_dropped():
+    sim, built, system = build_system()
+    PacketChaos(sim, built.network, (PacketFaultSpec(corrupt_prob=0.3),)).start()
+    run_stream(sim, system)
+    assert sim.metrics.counter("chaos.packet.corrupted").value > 0
+    assert sim.metrics.counter("proto.wire.corrupt_dropped").value > 0
+    # Corruption slows delivery but must not poison protocol state.
+    assert system.run_until_delivered(5, timeout=300.0)
+
+
+def test_duplicated_control_packets_are_suppressed():
+    sim, built, system = build_system()
+    PacketChaos(sim, built.network, (PacketFaultSpec(dup_prob=0.5),)).start()
+    run_stream(sim, system)
+    assert sim.metrics.counter("chaos.packet.duplicated").value > 0
+    assert sim.metrics.counter("proto.wire.dup_suppressed").value > 0
+    assert system.run_until_delivered(5, timeout=300.0)
+
+
+def test_replayed_stale_packets_do_not_wedge_the_protocol():
+    sim, built, system = build_system()
+    PacketChaos(sim, built.network,
+                (PacketFaultSpec(replay_prob=0.3, replay_lag=5.0),)).start()
+    run_stream(sim, system)
+    assert sim.metrics.counter("chaos.packet.replayed").value > 0
+    assert system.run_until_delivered(5, timeout=300.0)
+    # Every host must still deliver each seqno exactly once.
+    for host_id, records in system.delivery_records().items():
+        seqs = [r.seq for r in records]
+        assert len(seqs) == len(set(seqs)), (host_id, seqs)
+
+
+def test_delayed_packets_arrive_late_not_never():
+    sim, built, system = build_system()
+    PacketChaos(sim, built.network,
+                (PacketFaultSpec(delay_prob=0.4, delay=1.0),)).start()
+    run_stream(sim, system)
+    assert sim.metrics.counter("chaos.packet.delayed").value > 0
+    assert system.run_until_delivered(5, timeout=300.0)
+
+
+def test_dst_and_window_scoping():
+    sim, built, system = build_system()
+    victim = str(sorted(built.hosts)[1])
+    chaos = PacketChaos(sim, built.network,
+                        (PacketFaultSpec(dst=victim, start=0.0, end=4.0,
+                                         corrupt_prob=1.0),)).start()
+    # Only the victim's port is tapped.
+    tapped = [str(p.host_id) for p in chaos._tapped]
+    assert tapped == [victim]
+    run_stream(sim, system, until=30.0)
+    # After the window closed, corruption stopped; stream still completes.
+    corrupted_at_4 = sim.metrics.counter("chaos.packet.corrupted").value
+    sim.run(until=40.0)
+    assert sim.metrics.counter("chaos.packet.corrupted").value == corrupted_at_4
+    assert system.run_until_delivered(5, timeout=300.0)
+
+
+def test_stop_removes_taps_and_cancels_pending_injections():
+    sim, built, system = build_system()
+    chaos = PacketChaos(sim, built.network,
+                        (PacketFaultSpec(dup_prob=1.0, dup_lag=50.0),)).start()
+    run_stream(sim, system, until=10.0)
+    assert chaos._pending  # far-future duplicates are in flight
+    recv_at_stop = sim.metrics.counter("net.h2h.recv").value
+    duplicated = sim.metrics.counter("chaos.packet.duplicated").value
+    chaos.stop()
+    assert not chaos._pending
+    for port in [built.network.host_port(h) for h in built.network.hosts()]:
+        assert port.tap is None
+    # The cancelled duplicates never arrive, and no new ones are made.
+    sim.run(until=70.0)
+    assert sim.metrics.counter("chaos.packet.duplicated").value == duplicated
+    assert sim.metrics.counter("net.h2h.recv").value >= recv_at_stop
+
+
+def test_chaos_plan_composes_packet_faults_and_heals():
+    sim, built, system = build_system()
+    plan = ChaosPlan(sim, system, ChaosSpec(
+        heal_by=15.0,
+        packet_faults=(PacketFaultSpec(corrupt_prob=0.5, start=1.0,
+                                       end=100.0),),  # clamped to heal_by
+    )).start()
+    run_stream(sim, system, until=16.0)
+    assert sim.metrics.counter("chaos.packet.corrupted").value > 0
+    corrupted_at_heal = sim.metrics.counter("chaos.packet.corrupted").value
+    sim.run(until=40.0)
+    # Healed: no post-horizon corruption, every port untapped.
+    assert sim.metrics.counter("chaos.packet.corrupted").value == corrupted_at_heal
+    for host in built.network.hosts():
+        assert built.network.host_port(host).tap is None
+    assert plan  # plan object stays alive for inspection
+
+
+def test_same_seed_same_fault_sequence():
+    counters = []
+    for _ in range(2):
+        sim, built, system = build_system(seed=9)
+        PacketChaos(sim, built.network,
+                    (PacketFaultSpec(corrupt_prob=0.2, dup_prob=0.2,
+                                     delay_prob=0.2),)).start()
+        run_stream(sim, system)
+        counters.append(tuple(
+            sim.metrics.counter(name).value
+            for name in ("chaos.packet.corrupted", "chaos.packet.duplicated",
+                         "chaos.packet.delayed", "net.h2h.recv")))
+    assert counters[0] == counters[1]

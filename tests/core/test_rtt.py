@@ -1,0 +1,157 @@
+"""Unit tests for the adaptive control-plane timing primitives."""
+
+import random
+
+import pytest
+
+from repro.core import CongestionSignal, ExponentialBackoff, PeerRtt, RttEstimator
+from repro.net import HostId
+
+A = HostId("a")
+
+
+# -- RttEstimator -------------------------------------------------------
+
+
+def test_first_sample_initialises_srtt_and_rttvar():
+    est = RttEstimator()
+    assert est.rto() is None
+    est.observe(0.2)
+    assert est.srtt == pytest.approx(0.2)
+    assert est.rttvar == pytest.approx(0.1)
+    # RFC 6298: RTO = SRTT + 4 * RTTVAR
+    assert est.rto() == pytest.approx(0.2 + 4 * 0.1)
+
+
+def test_smoothing_follows_rfc6298_gains():
+    est = RttEstimator()
+    est.observe(0.2)
+    est.observe(0.4)
+    assert est.rttvar == pytest.approx(0.75 * 0.1 + 0.25 * abs(0.2 - 0.4))
+    assert est.srtt == pytest.approx(0.875 * 0.2 + 0.125 * 0.4)
+
+
+def test_negative_and_nonfinite_samples_ignored():
+    est = RttEstimator()
+    est.observe(-1.0)
+    est.observe(float("nan"))
+    est.observe(float("inf"))
+    assert est.samples == 0
+    assert est.rto() is None
+
+
+def test_karn_backoff_doubles_and_resets_on_sample():
+    est = RttEstimator()
+    est.observe(0.1)
+    base = est.rto()
+    est.on_timeout()
+    assert est.rto() == pytest.approx(2 * base)
+    est.on_timeout()
+    assert est.rto() == pytest.approx(4 * base)
+    est.observe(0.1)  # valid sample ends the backoff
+    assert est.rto() == pytest.approx(est.srtt + 4 * est.rttvar)
+
+
+def test_backoff_multiplier_is_capped():
+    est = RttEstimator()
+    est.observe(0.1)
+    base = est.rto()
+    for _ in range(100):
+        est.on_timeout()
+    assert est.rto() <= 64 * base + 1e-9
+
+
+def test_rttvar_floor_keeps_rto_above_srtt():
+    est = RttEstimator()
+    for _ in range(50):
+        est.observe(0.25)  # variance decays toward zero
+    assert est.rto() >= est.srtt + 0.001
+
+
+# -- PeerRtt ------------------------------------------------------------
+
+
+def test_unmeasured_peer_returns_the_ceiling():
+    rtt = PeerRtt()
+    assert rtt.rto(A, floor=0.1, ceiling=2.0) == 2.0
+    assert rtt.samples(A) == 0
+    assert rtt.srtt(A) is None
+
+
+def test_measured_peer_is_clamped_to_floor_and_ceiling():
+    rtt = PeerRtt()
+    rtt.observe(A, 0.01)
+    assert rtt.rto(A, floor=0.2, ceiling=2.0) == 0.2
+    rtt.observe(A, 100.0)
+    assert rtt.rto(A, floor=0.2, ceiling=2.0) == 2.0
+    assert rtt.samples(A) == 2
+
+
+def test_peer_timeout_before_any_sample_is_harmless():
+    rtt = PeerRtt()
+    rtt.on_timeout(A)
+    assert rtt.rto(A, floor=0.1, ceiling=2.0) == 2.0
+
+
+# -- ExponentialBackoff -------------------------------------------------
+
+
+def test_backoff_doubles_up_to_the_cap():
+    bo = ExponentialBackoff(base=1.0, cap=8.0, jitter_frac=0.0,
+                            rng=random.Random(0))
+    assert [bo.next_delay() for _ in range(5)] == [1.0, 2.0, 4.0, 8.0, 8.0]
+    bo.reset()
+    assert bo.next_delay() == 1.0
+
+
+def test_backoff_jitter_stays_within_band():
+    bo = ExponentialBackoff(base=1.0, cap=64.0, jitter_frac=0.25,
+                            rng=random.Random(7))
+    for k in range(6):
+        nominal = min(2.0 ** k, 64.0)
+        delay = bo.next_delay()
+        assert 0.75 * nominal <= delay <= 1.25 * nominal
+
+
+def test_backoff_rejects_bad_parameters():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        ExponentialBackoff(base=0.0, cap=1.0, jitter_frac=0.0, rng=rng)
+    with pytest.raises(ValueError):
+        ExponentialBackoff(base=2.0, cap=1.0, jitter_frac=0.0, rng=rng)
+    with pytest.raises(ValueError):
+        ExponentialBackoff(base=1.0, cap=2.0, jitter_frac=1.0, rng=rng)
+
+
+# -- CongestionSignal ---------------------------------------------------
+
+
+def test_congestion_level_is_recent_bad_fraction():
+    sig = CongestionSignal(window=10.0)
+    for _ in range(3):
+        sig.note_good(0.0)
+    sig.note_bad(0.0)
+    assert sig.level(0.0) == pytest.approx(0.25)
+
+
+def test_congestion_quiet_signal_reads_zero():
+    sig = CongestionSignal(window=10.0)
+    assert sig.level(5.0) == 0.0
+    sig.note_bad(0.0)
+    # One half-life later the single tally has decayed below the
+    # one-receive evidence threshold.
+    assert sig.level(10.0) == 0.0
+
+
+def test_congestion_decays_with_half_life():
+    sig = CongestionSignal(window=10.0)
+    for _ in range(8):
+        sig.note_bad(0.0)
+    for _ in range(8):
+        sig.note_good(20.0)  # two half-lives: bad tally now 2
+    assert sig.level(20.0) == pytest.approx(2.0 / 10.0)
+
+
+def test_congestion_rejects_nonpositive_window():
+    with pytest.raises(ValueError):
+        CongestionSignal(window=0.0)

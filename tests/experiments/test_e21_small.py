@@ -1,0 +1,32 @@
+"""Small, tier-1-sized E21 run: adversarial timing, fixed vs adaptive.
+
+The full sweep lives in ``benchmarks/bench_e21_adversarial.py``; this
+keeps a two-point version in the fast suite so the adaptive control
+plane's core claim — never worse delivery, measurable hardening
+activity under attack — is exercised on every test run.
+"""
+
+import math
+
+from repro.experiments import run_e21_adversarial_timing
+
+SMALL_POINTS = (
+    ("clean", 0.00, 0.00, 0.0, 0.0, 0.00),
+    ("harsh", 0.15, 0.10, 0.3, 0.8, 0.05),
+)
+
+
+def test_e21_small_adaptive_never_worse():
+    result = run_e21_adversarial_timing(n=15, measure_at=50.0,
+                                        horizon=300.0, points=SMALL_POINTS)
+    rows = {(r["point"], r["mode"]): r for r in result.rows}
+    assert len(rows) == 4
+    for point, *_ in SMALL_POINTS:
+        fixed, adaptive = rows[(point, "fixed")], rows[(point, "adaptive")]
+        assert adaptive["delivered"] >= fixed["delivered"], (point, fixed,
+                                                            adaptive)
+        assert not math.isnan(adaptive["recovery_mean_s"]), adaptive
+    harsh = rows[("harsh", "adaptive")]
+    # The attack actually landed and the hardening actually engaged.
+    assert harsh["corrupt_dropped"] > 0
+    assert harsh["dup_suppressed"] > 0

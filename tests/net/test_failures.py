@@ -188,3 +188,23 @@ def test_flapper_validates_means():
     built = wan_of_lans(sim, 2, 1, convergence_delay=0.0)
     with pytest.raises(ValueError):
         LinkFlapper(sim, built.network, [("s0", "s1")], mean_up=0.0)
+
+
+def test_flapper_stop_cancels_pending_transitions():
+    """stop() must cancel already-armed fail/repair timers, not just
+    gate them — an armed timer could down a link after heal()."""
+    sim = Simulator(seed=4)
+    built = wan_of_lans(sim, 2, 1, backbone="line", convergence_delay=0.0)
+    flapper = LinkFlapper(sim, built.network, [("s0", "s1")],
+                          mean_up=1.0, mean_down=1.0).start()
+    sim.run(until=10.0)
+    pending = list(flapper._pending.values())
+    assert pending
+    flapper.stop()
+    assert not flapper._pending
+    assert all(event.cancelled for event in pending)
+    downs = sim.trace.count("link.down")
+    ups = sim.trace.count("link.up")
+    sim.run(until=200.0)
+    assert sim.trace.count("link.down") == downs
+    assert sim.trace.count("link.up") == ups

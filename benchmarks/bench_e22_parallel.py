@@ -1,0 +1,30 @@
+"""E22 — Execution engine: wall-clock speedup and determinism parity.
+
+Runs the E21 work-item grid under jobs=1 (the serial reference), 2,
+and 4, recording wall time per worker count.  The hard claim is the
+parity column: every parallel run's rows must be byte-identical to the
+serial reference — derived per-item seeds and the ordered merge make
+worker scheduling invisible to the output.  Speedup is asserted only
+when the host actually has cores to parallelize over; on a single-core
+runner the engine's process-per-item overhead makes speedup physically
+unmeasurable, and the table just records the honest wall times.
+"""
+
+import os
+
+from repro.experiments import run_e22_parallel_speedup
+
+
+def test_e22_parallel_speedup(run_experiment):
+    result = run_experiment(run_e22_parallel_speedup)
+    rows = {r["jobs"]: r for r in result.rows}
+    assert sorted(rows) == [1, 2, 4]
+    # Determinism parity is unconditional: any scheduling leak fails here.
+    for row in result.rows:
+        assert row["rows_match_serial"], row
+    assert rows[1]["speedup"] == 1.0
+    assert all(r["wall_s"] > 0 for r in result.rows)
+    if (os.cpu_count() or 1) >= 4:
+        # With real cores the 4-worker fan-out must clearly beat serial.
+        assert rows[4]["speedup"] >= 2.5, rows[4]
+        assert rows[2]["speedup"] > 1.3, rows[2]

@@ -1,0 +1,38 @@
+"""Parallel execution engine: deterministic fan-out over worker processes.
+
+See DESIGN.md §10 for the invariants (per-item derived seeds, ordered
+merge, structured failures, fingerprint-keyed caching) and
+:mod:`repro.exec.engine` for the executors.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, canonical_params, code_fingerprint
+from .engine import (
+    ExecutionError,
+    Executor,
+    ItemFailure,
+    ItemOutcome,
+    ProcessExecutor,
+    SerialExecutor,
+    WorkItem,
+    make_executor,
+    values_or_raise,
+)
+from .seeds import canonical_key, derive_seed
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExecutionError",
+    "Executor",
+    "ItemFailure",
+    "ItemOutcome",
+    "ProcessExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "WorkItem",
+    "canonical_key",
+    "canonical_params",
+    "code_fingerprint",
+    "derive_seed",
+    "make_executor",
+    "values_or_raise",
+]

@@ -1,0 +1,115 @@
+"""On-disk result cache for experiment runs.
+
+Entries are keyed by ``(runner name, canonicalized params, code
+fingerprint)``: re-running ``EXPERIMENTS.md`` only recomputes what
+changed.  The code fingerprint hashes the *contents* of every ``.py``
+file in the ``repro`` package, so any source edit — a runner tweak, a
+protocol fix three layers down — invalidates every cached result
+without any manual versioning (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple
+
+from .seeds import canonical_key
+
+#: default cache directory, relative to the working directory
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@functools.lru_cache(maxsize=4)
+def code_fingerprint(package_root: Optional[str] = None) -> str:
+    """SHA-256 over the sorted contents of every ``.py`` under the package.
+
+    Defaults to the installed ``repro`` package.  Stable across
+    machines and mtimes — only actual source changes move it.
+    """
+    if package_root is None:
+        import repro
+
+        package_root = str(Path(repro.__file__).parent)
+    root = Path(package_root)
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """Canonical JSON encoding of a params mapping (sorted, repr fallback)."""
+    return canonical_key(dict(params))
+
+
+class ResultCache:
+    """Pickle-per-entry cache under ``root``; key = hash of identity.
+
+    ``get``/``put`` take the entry's identity — runner name and params —
+    and combine it with the cache's code fingerprint.  A corrupt or
+    unreadable entry counts as a miss (and is removed), never an error.
+    """
+
+    def __init__(self, root: "Path | str" = DEFAULT_CACHE_DIR,
+                 fingerprint: Optional[str] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = (fingerprint if fingerprint is not None
+                            else code_fingerprint())
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, runner: str, params: Mapping[str, Any]) -> str:
+        identity = canonical_key(runner, dict(params), self.fingerprint)
+        return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, runner: str, params: Mapping[str, Any]
+            ) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a miss returns ``(False, None)``."""
+        path = self._path(self.key_for(runner, params))
+        if not path.exists():
+            self.misses += 1
+            return False, None
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+            value = entry["value"]
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, runner: str, params: Mapping[str, Any], value: Any) -> Path:
+        """Store ``value``; atomic rename so readers never see partials."""
+        path = self._path(self.key_for(runner, params))
+        entry = {
+            "runner": runner,
+            "params": canonical_params(params),
+            "fingerprint": self.fingerprint,
+            "value": value,
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path

@@ -1,8 +1,15 @@
-"""Experiment harness: runners for every table/figure in DESIGN.md."""
+"""Experiment harness: runners for every table/figure in DESIGN.md.
+
+Experiments are registered declaratively in
+:mod:`repro.experiments.registry` (:data:`REGISTRY`); ``ALL_RUNNERS``
+survives as a derived compatibility view.  The runners accept an
+optional executor from :mod:`repro.exec` to fan their grids out over
+worker processes with bit-identical results.
+"""
 
 from .records import ExperimentResult
+from .registry import ALL_RUNNERS, REGISTRY, ExperimentSpec, get_spec, run_registered
 from .runners import (
-    ALL_RUNNERS,
     run_e1_cost,
     run_e2_delay,
     run_e3_recovery,
@@ -25,13 +32,18 @@ from .runners import (
     run_e19_hierarchical,
     run_e20_host_churn,
     run_e21_adversarial_timing,
+    run_e22_parallel_speedup,
 )
 from .sweep import grid, sweep
 from .workload import bursty_stream, constant_rate_stream, poisson_stream
 
 __all__ = [
     "ALL_RUNNERS",
+    "REGISTRY",
     "ExperimentResult",
+    "ExperimentSpec",
+    "get_spec",
+    "run_registered",
     "bursty_stream",
     "constant_rate_stream",
     "grid",
@@ -59,4 +71,5 @@ __all__ = [
     "run_e19_hierarchical",
     "run_e20_host_churn",
     "run_e21_adversarial_timing",
+    "run_e22_parallel_speedup",
 ]

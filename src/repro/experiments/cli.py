@@ -1,70 +1,34 @@
-"""Command-line entry point: run experiments and print their tables.
+"""Legacy entry point: ``python -m repro.experiments.cli``.
+
+Now a shim over the unified CLI (``python -m repro experiments``); it
+parses the same flags — plus the newer ``--jobs``/``--cache`` — and
+emits the same tables.
 
 Usage::
 
     python -m repro.experiments.cli            # run everything
     python -m repro.experiments.cli E1 E5      # run selected experiments
     python -m repro.experiments.cli --list
+    python -m repro.experiments.cli E21 --jobs 4
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from typing import List, Optional
 
-from .runners import ALL_RUNNERS
+from ..cli import add_experiments_args, run_experiments_command
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments, run the selected experiments, print tables."""
     parser = argparse.ArgumentParser(
-        description="Reproduce the paper's experiments (E1..E19)")
-    parser.add_argument("experiments", nargs="*",
-                        help="experiment ids to run (default: all)")
-    parser.add_argument("--list", action="store_true",
-                        help="list available experiments and exit")
-    parser.add_argument("--seed", type=int, default=None,
-                        help="override the per-experiment default seed")
-    parser.add_argument("--markdown", action="store_true",
-                        help="emit GitHub-flavoured markdown tables")
-    parser.add_argument("--json", metavar="PATH", default=None,
-                        help="also write all results as JSON to PATH")
-    args = parser.parse_args(argv)
-
-    if args.list:
-        for exp_id, runner in ALL_RUNNERS.items():
-            doc = (runner.__doc__ or "").strip().splitlines()[0]
-            print(f"{exp_id:5s} {doc}")
-        return 0
-
-    selected = args.experiments or list(ALL_RUNNERS)
-    unknown = [e for e in selected if e not in ALL_RUNNERS]
-    if unknown:
-        print(f"unknown experiments: {unknown}", file=sys.stderr)
-        return 2
-
-    collected = []
-    for exp_id in selected:
-        runner = ALL_RUNNERS[exp_id]
-        started = time.time()
-        kwargs = {"seed": args.seed} if args.seed is not None else {}
-        result = runner(**kwargs)
-        collected.append(result)
-        print()
-        if args.markdown:
-            print(result.render_markdown())
-        else:
-            print(result.render())
-            print(f"  [{exp_id} finished in {time.time() - started:.1f}s wall]")
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as out:
-            json.dump([r.as_dict() for r in collected], out, indent=2)
-            out.write("\n")
-        print(f"\nwrote JSON results to {args.json}", file=sys.stderr)
-    return 0
+        prog="python -m repro.experiments.cli",
+        description="Reproduce the paper's experiments "
+                    "(shim for `python -m repro experiments`)")
+    add_experiments_args(parser)
+    return run_experiments_command(parser.parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

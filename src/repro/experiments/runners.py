@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import (
     CounterSnapshot,
@@ -47,6 +49,7 @@ from ..scenarios import (
     figure_4_1,
     midstream_partition,
 )
+from ..exec import Executor, SerialExecutor, WorkItem, values_or_raise
 from ..sim import Simulator
 from ..verify import check_all, run_to_quiescence, true_leaders
 from .records import ExperimentResult
@@ -63,6 +66,19 @@ def _tree_config(n_hosts: int, **overrides) -> ProtocolConfig:
 
 def _basic_config(**overrides) -> BasicConfig:
     return BasicConfig(**{"data_size_bits": SWEEP_DATA_BITS, **overrides})
+
+
+def _map_items(executor: Optional[Executor],
+               items: Sequence[WorkItem]) -> List[Any]:
+    """Run work items (serially by default) and unwrap their values.
+
+    Runners that fan out per grid point route *all* execution — serial
+    included — through this, so ``--jobs 1`` and ``--jobs N`` follow
+    the identical code path and merge rows in identical (submission)
+    order.  A failed point raises :class:`~repro.exec.ExecutionError`
+    naming the offending key.
+    """
+    return values_or_raise((executor or SerialExecutor()).map(items))
 
 
 def _run_stream(system, n: int, interval: float, warmup: int,
@@ -116,18 +132,33 @@ def _sweep_point(protocol: str, k: int, m: int, seed: int, n: int,
     }
 
 
+def _e1_e2_items(experiment: str, ks: Sequence[int], ms: Sequence[int],
+                 seed: int, n: int, interval: float,
+                 warmup: int) -> List[WorkItem]:
+    """(protocol, k, m) grid for E1/E2, in deterministic order."""
+    return [
+        WorkItem(key=(experiment, protocol, k, m), fn=_sweep_point,
+                 kwargs=dict(protocol=protocol, k=k, m=m, seed=seed, n=n,
+                             interval=interval, warmup=warmup))
+        for k in ks for m in ms for protocol in ("tree", "basic")
+    ]
+
+
 def run_e1_cost(seed: int = 1, ks: Sequence[int] = (2, 4, 6),
                 ms: Sequence[int] = (1, 2, 4), n: int = 20,
-                interval: float = 2.0, warmup: int = 5) -> ExperimentResult:
+                interval: float = 2.0, warmup: int = 5,
+                executor: Optional[Executor] = None) -> ExperimentResult:
     """E1: inter-cluster transmissions per message, tree vs basic."""
     result = ExperimentResult(
         "E1", "Inter-cluster data transmissions per message (failure-free)",
         ["clusters", "hosts_per_cluster", "optimal", "tree", "basic",
          "tree_vs_optimal", "basic_vs_tree"])
+    items = _e1_e2_items("E1", ks, ms, seed, n, interval, warmup)
+    values = dict(zip((i.key for i in items), _map_items(executor, items)))
     for k in ks:
         for m in ms:
-            tree = _sweep_point("tree", k, m, seed, n, interval, warmup)
-            basic = _sweep_point("basic", k, m, seed, n, interval, warmup)
+            tree = values[("E1", "tree", k, m)]
+            basic = values[("E1", "basic", k, m)]
             optimal = optimal_inter_cluster_cost(k)
             result.add_row(
                 clusters=k, hosts_per_cluster=m, optimal=optimal,
@@ -145,16 +176,19 @@ def run_e1_cost(seed: int = 1, ks: Sequence[int] = (2, 4, 6),
 
 def run_e2_delay(seed: int = 1, ks: Sequence[int] = (2, 4, 6),
                  ms: Sequence[int] = (2, 4), n: int = 20,
-                 interval: float = 2.0, warmup: int = 5) -> ExperimentResult:
+                 interval: float = 2.0, warmup: int = 5,
+                 executor: Optional[Executor] = None) -> ExperimentResult:
     """E2: delivery delay, tree vs basic (expected comparable)."""
     result = ExperimentResult(
         "E2", "Delivery delay (failure-free)",
         ["clusters", "hosts_per_cluster", "tree_mean", "basic_mean",
          "tree_p99", "basic_p99"])
+    items = _e1_e2_items("E2", ks, ms, seed, n, interval, warmup)
+    values = dict(zip((i.key for i in items), _map_items(executor, items)))
     for k in ks:
         for m in ms:
-            tree = _sweep_point("tree", k, m, seed, n, interval, warmup)
-            basic = _sweep_point("basic", k, m, seed, n, interval, warmup)
+            tree = values[("E2", "tree", k, m)]
+            basic = values[("E2", "basic", k, m)]
             result.add_row(clusters=k, hosts_per_cluster=m,
                            tree_mean=tree["delay_mean"],
                            basic_mean=basic["delay_mean"],
@@ -256,31 +290,43 @@ def run_e4_partition(seed: int = 3, k: int = 3, m: int = 2,
 # ----------------------------------------------------------------------
 
 
+def _e5_point(protocol: str, k: int, m: int, seed: int, n: int,
+              interval: float) -> Dict[str, Any]:
+    """One E5 grid point: build, stream, report congestion."""
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m,
+                        backbone="star")
+    if protocol == "tree":
+        system = BroadcastSystem(built, config=_tree_config(k * m))
+    else:
+        system = BasicBroadcastSystem(built, config=_basic_config())
+    system.start()
+    system.broadcast_stream(n, interval=interval, start_at=2.0)
+    system.run_until_delivered(n, timeout=600.0)
+    report = congestion_report(sim, built.network, system.source_id)
+    return dict(hosts=k * m, protocol=protocol,
+                source_access_tx_per_msg=report.source_access_tx / n,
+                concentration=report.concentration,
+                source_peak_queue=report.source_peak_queue)
+
+
 def run_e5_congestion(seed: int = 4, k: int = 4,
                       ms: Sequence[int] = (2, 4, 8), n: int = 20,
-                      interval: float = 1.0) -> ExperimentResult:
+                      interval: float = 1.0,
+                      executor: Optional[Executor] = None) -> ExperimentResult:
     """E5: load concentration on the source's access link."""
     result = ExperimentResult(
         "E5", "Source access-link load (congestion)",
         ["hosts", "protocol", "source_access_tx_per_msg", "concentration",
          "source_peak_queue"])
-    for m in ms:
-        for protocol in ("tree", "basic"):
-            sim = Simulator(seed=seed)
-            built = wan_of_lans(sim, clusters=k, hosts_per_cluster=m,
-                                backbone="star")
-            if protocol == "tree":
-                system = BroadcastSystem(built, config=_tree_config(k * m))
-            else:
-                system = BasicBroadcastSystem(built, config=_basic_config())
-            system.start()
-            system.broadcast_stream(n, interval=interval, start_at=2.0)
-            system.run_until_delivered(n, timeout=600.0)
-            report = congestion_report(sim, built.network, system.source_id)
-            result.add_row(hosts=k * m, protocol=protocol,
-                           source_access_tx_per_msg=report.source_access_tx / n,
-                           concentration=report.concentration,
-                           source_peak_queue=report.source_peak_queue)
+    items = [
+        WorkItem(key=("E5", protocol, m), fn=_e5_point,
+                 kwargs=dict(protocol=protocol, k=k, m=m, seed=seed, n=n,
+                             interval=interval))
+        for m in ms for protocol in ("tree", "basic")
+    ]
+    for row in _map_items(executor, items):
+        result.add_row(**row)
     result.note("paper: basic funnels one copy per destination through the "
                 "source's server; the tree distributes dissemination")
     return result
@@ -992,12 +1038,84 @@ def run_e19_hierarchical(seed: int = 17,
 # ----------------------------------------------------------------------
 
 
+def _e20_protocol(protocol: str, seed: int, clusters: int,
+                  hosts_per_cluster: int, n: int, interval: float,
+                  heal_by: float, mean_up: float, mean_down: float,
+                  crash_stable_lag: int,
+                  horizon: float) -> List[Dict[str, Any]]:
+    """One E20 protocol run; returns the 'all' row plus per-host rows."""
+    from ..chaos import ChaosPlan, ChaosSpec, HostChurnSpec
+    from ..verify import InvariantMonitor
+
+    n_hosts = clusters * hosts_per_cluster
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=clusters,
+                        hosts_per_cluster=hosts_per_cluster,
+                        backbone="line")
+    monitor = None
+    if protocol == "tree":
+        system = BroadcastSystem(built, config=_tree_config(
+            n_hosts, crash_stable_lag=crash_stable_lag)).start()
+        monitor = InvariantMonitor(system, sample_period=1.0,
+                                   stable_window=20.0).start()
+    else:
+        system = BasicBroadcastSystem(built, config=_basic_config(
+            crash_stable_lag=crash_stable_lag)).start()
+    churned = tuple(str(h) for h in built.hosts
+                    if h != system.source_id)
+    ChaosPlan(sim, system, ChaosSpec(
+        heal_by=heal_by,
+        host_churn=(HostChurnSpec(churned, mean_up=mean_up,
+                                  mean_down=mean_down),))).start()
+    system.broadcast_stream(n, interval=interval, start_at=2.0)
+    sim.run(until=heal_by + 1.0)  # let the full churn window play out
+    system.run_until_delivered(n, timeout=horizon)
+    stable: Any
+    if monitor is not None:
+        monitor.stop()
+        stable = len(monitor.report().stable_violations)
+    else:
+        stable = "-"  # tree-structure invariants do not apply
+
+    recoveries: Dict[str, List[float]] = {}
+    for record in sim.trace.records(kind="host.recovery_delivery"):
+        recoveries.setdefault(record.source, []).append(
+            record.fields["elapsed"])
+    crash_counts: Dict[str, int] = {}
+    for record in sim.trace.records(kind="host.crash"):
+        crash_counts[record.source] = crash_counts.get(record.source, 0) + 1
+
+    all_times = [t for times in recoveries.values() for t in times]
+    rows: List[Dict[str, Any]] = [dict(
+        protocol=protocol, scope="all",
+        delivered=delivery_fraction(system.delivery_records(), n,
+                                    system.source_id),
+        crashes=sum(crash_counts.values()),
+        recovery_mean_s=(sum(all_times) / len(all_times)
+                         if all_times else float("nan")),
+        recovery_max_s=max(all_times) if all_times else float("nan"),
+        stable_violations=stable)]
+    for host in churned:
+        times = recoveries.get(host, [])
+        delivered = sum(1 for seq in range(1, n + 1)
+                        if seq in system.hosts[HostId(host)].deliveries)
+        rows.append(dict(
+            protocol=protocol, scope=host, delivered=delivered / n,
+            crashes=crash_counts.get(host, 0),
+            recovery_mean_s=(sum(times) / len(times)
+                             if times else float("nan")),
+            recovery_max_s=max(times) if times else float("nan"),
+            stable_violations="-"))
+    return rows
+
+
 def run_e20_host_churn(seed: int = 18, clusters: int = 3,
                        hosts_per_cluster: int = 2, n: int = 20,
                        interval: float = 1.0, heal_by: float = 60.0,
                        mean_up: float = 25.0, mean_down: float = 5.0,
                        crash_stable_lag: int = 2,
-                       horizon: float = 400.0) -> ExperimentResult:
+                       horizon: float = 400.0,
+                       executor: Optional[Executor] = None) -> ExperimentResult:
     """E20: host crash/recovery churn — tree vs the basic algorithm.
 
     Every non-source host randomly crashes (losing volatile state beyond
@@ -1009,72 +1127,23 @@ def run_e20_host_churn(seed: int = 18, clusters: int = 3,
     gap-fills everything above its stable prefix.  Recovery time is
     measured crash → first post-recovery delivery.
     """
-    from ..chaos import ChaosPlan, ChaosSpec, HostChurnSpec
-    from ..verify import InvariantMonitor
-
     result = ExperimentResult(
         "E20", "Reliability and recovery latency under host churn",
         ["protocol", "scope", "delivered", "crashes",
          "recovery_mean_s", "recovery_max_s", "stable_violations"])
-    n_hosts = clusters * hosts_per_cluster
-    for protocol in ("tree", "basic"):
-        sim = Simulator(seed=seed)
-        built = wan_of_lans(sim, clusters=clusters,
-                            hosts_per_cluster=hosts_per_cluster,
-                            backbone="line")
-        monitor = None
-        if protocol == "tree":
-            system = BroadcastSystem(built, config=_tree_config(
-                n_hosts, crash_stable_lag=crash_stable_lag)).start()
-            monitor = InvariantMonitor(system, sample_period=1.0,
-                                       stable_window=20.0).start()
-        else:
-            system = BasicBroadcastSystem(built, config=_basic_config(
-                crash_stable_lag=crash_stable_lag)).start()
-        churned = tuple(str(h) for h in built.hosts
-                        if h != system.source_id)
-        ChaosPlan(sim, system, ChaosSpec(
-            heal_by=heal_by,
-            host_churn=(HostChurnSpec(churned, mean_up=mean_up,
-                                      mean_down=mean_down),))).start()
-        system.broadcast_stream(n, interval=interval, start_at=2.0)
-        sim.run(until=heal_by + 1.0)  # let the full churn window play out
-        system.run_until_delivered(n, timeout=horizon)
-        if monitor is not None:
-            monitor.stop()
-            stable = len(monitor.report().stable_violations)
-        else:
-            stable = "-"  # tree-structure invariants do not apply
-
-        recoveries: Dict[str, List[float]] = {}
-        for record in sim.trace.records(kind="host.recovery_delivery"):
-            recoveries.setdefault(record.source, []).append(
-                record.fields["elapsed"])
-        crash_counts: Dict[str, int] = {}
-        for record in sim.trace.records(kind="host.crash"):
-            crash_counts[record.source] = crash_counts.get(record.source, 0) + 1
-
-        all_times = [t for times in recoveries.values() for t in times]
-        result.add_row(
-            protocol=protocol, scope="all",
-            delivered=delivery_fraction(system.delivery_records(), n,
-                                        system.source_id),
-            crashes=sum(crash_counts.values()),
-            recovery_mean_s=(sum(all_times) / len(all_times)
-                             if all_times else float("nan")),
-            recovery_max_s=max(all_times) if all_times else float("nan"),
-            stable_violations=stable)
-        for host in churned:
-            times = recoveries.get(host, [])
-            delivered = sum(1 for seq in range(1, n + 1)
-                            if seq in system.hosts[HostId(host)].deliveries)
-            result.add_row(
-                protocol=protocol, scope=host, delivered=delivered / n,
-                crashes=crash_counts.get(host, 0),
-                recovery_mean_s=(sum(times) / len(times)
-                                 if times else float("nan")),
-                recovery_max_s=max(times) if times else float("nan"),
-                stable_violations="-")
+    items = [
+        WorkItem(key=("E20", protocol), fn=_e20_protocol,
+                 kwargs=dict(protocol=protocol, seed=seed, clusters=clusters,
+                             hosts_per_cluster=hosts_per_cluster, n=n,
+                             interval=interval, heal_by=heal_by,
+                             mean_up=mean_up, mean_down=mean_down,
+                             crash_stable_lag=crash_stable_lag,
+                             horizon=horizon))
+        for protocol in ("tree", "basic")
+    ]
+    for rows in _map_items(executor, items):
+        for row in rows:
+            result.add_row(**row)
     result.note("recovery_*_s is crash -> first post-recovery delivery; a "
                 "basic receiver's acked-then-lost messages are never "
                 "retransmitted, so the tree's delivered fraction is >= "
@@ -1095,12 +1164,84 @@ E21_POINTS: Tuple[Tuple[str, float, float, float, float, float], ...] = (
 )
 
 
+def _e21_point(point: Sequence, mode: str, seed: int, clusters: int,
+               hosts_per_cluster: int, n: int, interval: float,
+               heal_by: float, measure_at: float,
+               horizon: float) -> Dict[str, Any]:
+    """One E21 grid point: one operating point under one control plane."""
+    from ..chaos import ChaosPlan, ChaosSpec, HostOutageSpec, PacketFaultSpec
+    from ..verify import InvariantMonitor
+
+    n_hosts = clusters * hosts_per_cluster
+    label, loss, corrupt, delay_prob, delay, replay = point
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(
+        sim, clusters=clusters, hosts_per_cluster=hosts_per_cluster,
+        backbone="line", expensive=expensive_spec(loss_prob=loss))
+    config = _tree_config(n_hosts, crash_stable_lag=1,
+                          adaptive=(mode == "adaptive"))
+    system = BroadcastSystem(built, config=config).start()
+    monitor = InvariantMonitor(system, sample_period=1.0,
+                               stable_window=20.0).start()
+    # Two mid-stream outages give every point a recovery probe; ends
+    # stay well before heal_by so recovery happens *under* the packet
+    # faults, where the control planes differ.
+    victims = [str(h) for h in built.hosts if h != system.source_id]
+    faults: Tuple[PacketFaultSpec, ...] = ()
+    if corrupt or delay_prob or replay:
+        faults = (PacketFaultSpec(
+            start=2.0, end=heal_by, corrupt_prob=corrupt,
+            delay_prob=delay_prob, delay=delay,
+            replay_prob=replay, replay_lag=2.0),)
+    ChaosPlan(sim, system, ChaosSpec(
+        heal_by=heal_by,
+        host_outages=(HostOutageSpec(victims[1], 10.0, 14.0),
+                      HostOutageSpec(victims[-1], 18.0, 22.0)),
+        packet_faults=faults)).start()
+    system.broadcast_stream(n, interval=interval, start_at=2.0)
+    sim.run(until=measure_at)
+    delivered = delivery_fraction(system.delivery_records(), n,
+                                  system.source_id)
+    system.run_until_delivered(n, timeout=horizon)
+    monitor.stop()
+    times = monitor.report().recovery_times()
+    metrics = sim.metrics
+    return dict(
+        point=label, mode=mode, delivered=delivered,
+        recovery_mean_s=(sum(times) / len(times)
+                         if times else float("nan")),
+        control_msgs=metrics.counter("net.h2h.sent.kind.control").value,
+        corrupt_dropped=metrics.counter(
+            "proto.wire.corrupt_dropped").value,
+        dup_suppressed=metrics.counter(
+            "proto.wire.dup_suppressed").value,
+        attach_timeouts=metrics.counter("proto.attach.timeouts").value)
+
+
+def _e21_items(seed: int, clusters: int, hosts_per_cluster: int, n: int,
+               interval: float, heal_by: float, measure_at: float,
+               horizon: float,
+               points: Optional[Sequence] = None) -> List[WorkItem]:
+    """The seed-matched (point, mode) grid E21 and E22 both fan out."""
+    return [
+        WorkItem(key=("E21", point[0], mode), fn=_e21_point,
+                 kwargs=dict(point=tuple(point), mode=mode, seed=seed,
+                             clusters=clusters,
+                             hosts_per_cluster=hosts_per_cluster, n=n,
+                             interval=interval, heal_by=heal_by,
+                             measure_at=measure_at, horizon=horizon))
+        for point in (points if points is not None else E21_POINTS)
+        for mode in ("fixed", "adaptive")
+    ]
+
+
 def run_e21_adversarial_timing(seed: int = 21, clusters: int = 3,
                                hosts_per_cluster: int = 2, n: int = 30,
                                interval: float = 1.0, heal_by: float = 40.0,
                                measure_at: float = 60.0,
                                horizon: float = 600.0,
                                points: Optional[Sequence] = None,
+                               executor: Optional[Executor] = None,
                                ) -> ExperimentResult:
     """E21: adversarial packet timing — fixed vs adaptive control plane.
 
@@ -1115,59 +1256,14 @@ def run_e21_adversarial_timing(seed: int = 21, clusters: int = 3,
     at ``measure_at`` (before unlimited catch-up time); recovery is
     crash -> first post-recovery delivery via the InvariantMonitor.
     """
-    from ..chaos import ChaosPlan, ChaosSpec, HostOutageSpec, PacketFaultSpec
-    from ..verify import InvariantMonitor
-
     result = ExperimentResult(
         "E21", "Adversarial packet timing: fixed vs adaptive control plane",
         ["point", "mode", "delivered", "recovery_mean_s", "control_msgs",
          "corrupt_dropped", "dup_suppressed", "attach_timeouts"])
-    n_hosts = clusters * hosts_per_cluster
-    for point in (points if points is not None else E21_POINTS):
-        label, loss, corrupt, delay_prob, delay, replay = point
-        for mode in ("fixed", "adaptive"):
-            sim = Simulator(seed=seed)
-            built = wan_of_lans(
-                sim, clusters=clusters, hosts_per_cluster=hosts_per_cluster,
-                backbone="line", expensive=expensive_spec(loss_prob=loss))
-            config = _tree_config(n_hosts, crash_stable_lag=1,
-                                  adaptive=(mode == "adaptive"))
-            system = BroadcastSystem(built, config=config).start()
-            monitor = InvariantMonitor(system, sample_period=1.0,
-                                       stable_window=20.0).start()
-            # Two mid-stream outages give every point a recovery probe;
-            # ends stay well before heal_by so recovery happens *under*
-            # the packet faults, where the control planes differ.
-            victims = [str(h) for h in built.hosts if h != system.source_id]
-            faults = ()
-            if corrupt or delay_prob or replay:
-                faults = (PacketFaultSpec(
-                    start=2.0, end=heal_by, corrupt_prob=corrupt,
-                    delay_prob=delay_prob, delay=delay,
-                    replay_prob=replay, replay_lag=2.0),)
-            ChaosPlan(sim, system, ChaosSpec(
-                heal_by=heal_by,
-                host_outages=(HostOutageSpec(victims[1], 10.0, 14.0),
-                              HostOutageSpec(victims[-1], 18.0, 22.0)),
-                packet_faults=faults)).start()
-            system.broadcast_stream(n, interval=interval, start_at=2.0)
-            sim.run(until=measure_at)
-            delivered = delivery_fraction(system.delivery_records(), n,
-                                          system.source_id)
-            system.run_until_delivered(n, timeout=horizon)
-            monitor.stop()
-            times = monitor.report().recovery_times()
-            metrics = sim.metrics
-            result.add_row(
-                point=label, mode=mode, delivered=delivered,
-                recovery_mean_s=(sum(times) / len(times)
-                                 if times else float("nan")),
-                control_msgs=metrics.counter("net.h2h.sent.kind.control").value,
-                corrupt_dropped=metrics.counter(
-                    "proto.wire.corrupt_dropped").value,
-                dup_suppressed=metrics.counter(
-                    "proto.wire.dup_suppressed").value,
-                attach_timeouts=metrics.counter("proto.attach.timeouts").value)
+    items = _e21_items(seed, clusters, hosts_per_cluster, n, interval,
+                       heal_by, measure_at, horizon, points)
+    for row in _map_items(executor, items):
+        result.add_row(**row)
     result.note("seed-matched pairs: each point runs the identical seed, "
                 "topology, chaos schedule, and workload under both control "
                 "planes; delivered is the fraction at measure_at, recovery "
@@ -1175,28 +1271,65 @@ def run_e21_adversarial_timing(seed: int = 21, clusters: int = 3,
     return result
 
 
-#: registry used by the CLI and by EXPERIMENTS.md generation
-ALL_RUNNERS = {
-    "E1": run_e1_cost,
-    "E2": run_e2_delay,
-    "E3": run_e3_recovery,
-    "E4": run_e4_partition,
-    "E5": run_e5_congestion,
-    "E6": run_e6_control,
-    "E6b": run_e6_tuning,
-    "E7": run_e7_tradeoff,
-    "E8": run_e8_fig31,
-    "E9": run_e9_fig41,
-    "E10": run_e10_ablation,
-    "E11": run_e11_fig32,
-    "E12": run_e12_epidemic,
-    "E13": run_e13_piggyback,
-    "E14": run_e14_multisource,
-    "E15": run_e15_load_adaptation,
-    "E16": run_e16_clock_skew,
-    "E17": run_e17_design_ablation,
-    "E18": run_e18_relative_reliability,
-    "E19": run_e19_hierarchical,
-    "E20": run_e20_host_churn,
-    "E21": run_e21_adversarial_timing,
-}
+# ----------------------------------------------------------------------
+# E22 — execution engine: wall-clock speedup and determinism parity
+# ----------------------------------------------------------------------
+
+
+def run_e22_parallel_speedup(seed: int = 21,
+                             jobs_list: Sequence[int] = (1, 2, 4),
+                             clusters: int = 3, hosts_per_cluster: int = 2,
+                             n: int = 30, interval: float = 1.0,
+                             heal_by: float = 40.0, measure_at: float = 60.0,
+                             horizon: float = 600.0,
+                             points: Optional[Sequence] = None,
+                             ) -> ExperimentResult:
+    """E22: engine speedup + serial/parallel parity on the E21 grid.
+
+    Runs the identical E21 work-item grid under ``jobs=1`` (the serial
+    reference) and each requested worker count, comparing wall-clock
+    time *and* asserting row-for-row equality against the serial rows.
+    ``speedup`` is serial wall / parallel wall; ``rows_match_serial``
+    is the determinism-parity bit the acceptance gate checks.  Unlike
+    every other E-series table, the wall columns are hardware-dependent
+    — only the parity column is deterministic.
+    """
+    from ..exec import make_executor
+
+    result = ExperimentResult(
+        "E22", "Execution engine: speedup and determinism parity (E21 grid)",
+        ["jobs", "grid_points", "wall_s", "speedup", "rows_match_serial"])
+    items = _e21_items(seed, clusters, hosts_per_cluster, n, interval,
+                       heal_by, measure_at, horizon, points)
+    serial_rows: Optional[List[Dict[str, Any]]] = None
+    serial_wall = float("nan")
+    for jobs in jobs_list:
+        executor = make_executor(jobs)
+        start = time.perf_counter()
+        rows = _map_items(executor, items)
+        wall = time.perf_counter() - start
+        if serial_rows is None:
+            # First entry is the reference; jobs_list conventionally
+            # starts at 1 so the reference *is* the serial path.
+            serial_rows, serial_wall = rows, wall
+        # repr() is float-exact and nan-safe, unlike ==.
+        result.add_row(jobs=jobs, grid_points=len(items), wall_s=wall,
+                       speedup=serial_wall / wall,
+                       rows_match_serial=(repr(rows) == repr(serial_rows)))
+    result.note(f"host has {os.cpu_count()} CPU core(s); speedup saturates "
+                "at the core count, parity must hold everywhere")
+    return result
+
+
+def __getattr__(name: str):  # PEP 562 back-compat shim
+    """``runners.ALL_RUNNERS`` now lives in :mod:`repro.experiments.registry`.
+
+    Importing it lazily avoids a circular import (the registry imports
+    every runner from this module) while keeping the old access path
+    working unchanged.
+    """
+    if name == "ALL_RUNNERS":
+        from .registry import ALL_RUNNERS
+
+        return ALL_RUNNERS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

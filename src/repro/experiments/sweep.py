@@ -1,9 +1,19 @@
-"""Tiny parameter-sweep helper shared by experiments and user studies."""
+"""Parameter-sweep helper shared by experiments and user studies.
+
+``sweep()`` fans a measurement function out over a cartesian grid —
+serially by default, or across worker processes when given an executor
+from :mod:`repro.exec` — and merges the rows into an
+:class:`~repro.experiments.ExperimentResult` in deterministic grid
+order regardless of completion order.
+"""
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterator, List, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..exec import Executor, SerialExecutor, WorkItem, derive_seed, values_or_raise
+from .records import ExperimentResult
 
 
 def grid(**axes: Sequence[Any]) -> Iterator[Dict[str, Any]]:
@@ -20,20 +30,70 @@ def grid(**axes: Sequence[Any]) -> Iterator[Dict[str, Any]]:
 
 
 def sweep(fn: Callable[..., Dict[str, Any]],
-          **axes: Sequence[Any]) -> List[Dict[str, Any]]:
-    """Call ``fn(**point)`` for every grid point; returns point+result rows.
+          executor: Optional[Executor] = None,
+          experiment_id: str = "sweep",
+          title: Optional[str] = None,
+          base_seed: Optional[int] = None,
+          seed_param: str = "seed",
+          **axes: Sequence[Any]) -> ExperimentResult:
+    """Call ``fn(**point)`` for every grid point; merge into a result.
 
-    ``fn`` must return a dict of measured values; each output row is the
-    grid point merged with the measurements (measurements win on key
-    collisions being a bug, so they are checked).
+    ``fn`` must return a dict of measured values; each output row is
+    the grid point merged with the measurements.  Measurement keys
+    colliding with axis names is a bug, reported with the offending
+    grid point.  With ``base_seed`` set, every point also receives a
+    deterministically derived per-point seed under ``seed_param``
+    (stable across serial and parallel execution).
+
+    Pass an executor from :func:`repro.exec.make_executor` to fan the
+    grid out over worker processes — ``fn`` must then be a picklable
+    module-level function.  Rows always come back in grid order.
     """
-    rows = []
-    for point in grid(**axes):
-        measured = fn(**point)
+    points = list(grid(**axes))
+    items = [
+        WorkItem(
+            key=(experiment_id,) + tuple(sorted(point.items())),
+            fn=fn, kwargs=point,
+            seed=(derive_seed(base_seed, experiment_id,
+                              sorted(point.items()))
+                  if base_seed is not None else None),
+            seed_param=seed_param)
+        for point in points
+    ]
+    measurements = values_or_raise((executor or SerialExecutor()).map(items))
+
+    axis_names = sorted(axes)
+    columns: List[str] = list(axis_names)
+    rows: List[Dict[str, Any]] = []
+    for point, item, measured in zip(points, items, measurements):
+        if not isinstance(measured, dict):
+            raise TypeError(
+                f"sweep fn must return a dict of measurements, got "
+                f"{type(measured).__name__} at grid point {point}")
         overlap = set(point) & set(measured)
         if overlap:
-            raise ValueError(f"measurement keys collide with axes: {overlap}")
+            raise ValueError(
+                f"measurement keys collide with axes: {sorted(overlap)} "
+                f"at grid point {point}")
+        for key in measured:
+            if key not in columns:
+                columns.append(key)
         row = dict(point)
+        if item.seed is not None:
+            row.setdefault(seed_param, item.seed)
         row.update(measured)
         rows.append(row)
-    return rows
+    if base_seed is not None and any(seed_param in r for r in rows):
+        if seed_param not in columns:
+            columns.insert(len(axis_names), seed_param)
+
+    result = ExperimentResult(
+        experiment_id,
+        title if title is not None else
+        f"sweep of {getattr(fn, '__name__', 'fn')} over {axis_names}",
+        columns)
+    for row in rows:
+        for column in columns:
+            row.setdefault(column, "-")
+        result.add_row(**row)
+    return result

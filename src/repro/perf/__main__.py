@@ -1,4 +1,5 @@
-"""CLI entry point: ``python -m repro.perf``.
+"""CLI entry point: ``python -m repro.perf`` (shim) and the shared
+implementation behind ``python -m repro perf``.
 
 Runs the pinned benchmark matrix and writes a schema-versioned
 ``BENCH_<date>.json``.  See ``--help`` for options and
@@ -15,22 +16,25 @@ from .harness import default_output_path, run_matrix, write_bench_file
 from .scenarios import SCENARIOS
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.perf",
-        description="Run the pinned perf scenario matrix and record "
-                    "BENCH_<date>.json.")
+def add_perf_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quick", action="store_true",
                         help="shrunken matrix for CI / smoke runs")
-    parser.add_argument("--out", type=Path, default=None,
+    parser.add_argument("--out", "--json", type=Path, default=None,
+                        dest="out", metavar="PATH",
                         help="output path (default: ./BENCH_<date>.json)")
     parser.add_argument("--scenario", action="append", dest="scenarios",
                         metavar="NAME",
                         help="run only NAME (repeatable; default: all)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run scenarios in N worker processes (each "
+                             "scenario is timed inside its own worker; "
+                             "co-scheduled workers share cores, so use "
+                             "serial runs for regression-gated numbers)")
     parser.add_argument("--list", action="store_true",
                         help="list available scenarios and exit")
-    args = parser.parse_args(argv)
 
+
+def run_perf(args: argparse.Namespace) -> int:
     if args.list:
         for scenario in SCENARIOS.values():
             print(f"{scenario.name:<20} {scenario.description}")
@@ -38,11 +42,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print(f"running {len(args.scenarios or SCENARIOS)} scenario(s)"
           f"{' (quick)' if args.quick else ''}:")
-    payload = run_matrix(args.scenarios, quick=args.quick, echo=True)
+    payload = run_matrix(args.scenarios, quick=args.quick, echo=True,
+                         jobs=max(1, args.jobs))
     out = args.out if args.out is not None else default_output_path()
     write_bench_file(payload, out)
     print(f"wrote {out}")
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Run the pinned perf scenario matrix and record "
+                    "BENCH_<date>.json.")
+    add_perf_args(parser)
+    return run_perf(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -82,9 +82,27 @@ def run_scenario(scenario: Scenario, quick: bool = False,
     )
 
 
+def _run_scenario_json(name: str, quick: bool = False) -> Dict[str, Any]:
+    """Worker-process entry point: measure one scenario by name.
+
+    Module-level (picklable by reference) so the parallel matrix can
+    ship it to :class:`repro.exec.ProcessExecutor` workers; wall time
+    and RSS are measured *inside* the worker.
+    """
+    return run_scenario(SCENARIOS[name], quick=quick).to_json()
+
+
 def run_matrix(names: Optional[Iterable[str]] = None, quick: bool = False,
-               echo: bool = False) -> Dict[str, Any]:
-    """Run the (sub)matrix and return the full bench payload."""
+               echo: bool = False, jobs: int = 1) -> Dict[str, Any]:
+    """Run the (sub)matrix and return the full bench payload.
+
+    With ``jobs > 1`` scenarios run in worker processes (results merged
+    in matrix order).  Simulated outcomes are unaffected — scenarios
+    are seed-deterministic — but co-scheduled workers share cores, so
+    wall-clock comparisons against serial baselines are only valid for
+    serial runs; the payload records ``jobs`` so the compare tool's
+    users can tell.
+    """
     selected: List[Scenario] = []
     for name in (names if names is not None else SCENARIOS):
         try:
@@ -93,17 +111,33 @@ def run_matrix(names: Optional[Iterable[str]] = None, quick: bool = False,
             raise SystemExit(
                 f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}")
     results = []
-    for scenario in selected:
-        result = run_scenario(scenario, quick=quick)
-        results.append(result.to_json())
+    if jobs > 1:
+        from ..exec import ProcessExecutor, WorkItem, values_or_raise
+
+        items = [WorkItem(key=(scenario.name,), fn=_run_scenario_json,
+                          kwargs=dict(name=scenario.name, quick=quick))
+                 for scenario in selected]
+        results = values_or_raise(ProcessExecutor(jobs=jobs).map(items))
         if echo:
-            print(f"  {result.scenario:<20} {result.events:>9} events  "
-                  f"{result.wall_s:8.3f}s  {result.events_per_s:>12,.0f} ev/s  "
-                  f"rss {result.peak_rss_kb} KiB")
+            for result in results:
+                print(f"  {result['scenario']:<20} {result['events']:>9} "
+                      f"events  {result['wall_s']:8.3f}s  "
+                      f"{result['events_per_s']:>12,.0f} ev/s  "
+                      f"rss {result['peak_rss_kb']} KiB")
+    else:
+        for scenario in selected:
+            result = run_scenario(scenario, quick=quick)
+            results.append(result.to_json())
+            if echo:
+                print(f"  {result.scenario:<20} {result.events:>9} events  "
+                      f"{result.wall_s:8.3f}s  "
+                      f"{result.events_per_s:>12,.0f} ev/s  "
+                      f"rss {result.peak_rss_kb} KiB")
     return {
         "schema_version": SCHEMA_VERSION,
         "created_utc": _dt.datetime.now(_dt.timezone.utc).isoformat(),
         "quick": quick,
+        "jobs": jobs,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),

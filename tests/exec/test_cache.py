@@ -1,0 +1,73 @@
+"""The on-disk result cache: hit/miss, fingerprint invalidation."""
+
+from repro.exec import ResultCache, canonical_params, code_fingerprint
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f1")
+        hit, value = cache.get("E2", {"seed": 1})
+        assert not hit and value is None
+        cache.put("E2", {"seed": 1}, {"rows": [1, 2, 3]})
+        hit, value = cache.get("E2", {"seed": 1})
+        assert hit and value == {"rows": [1, 2, 3]}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_params_key_entries_independently(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f1")
+        cache.put("E2", {"seed": 1}, "a")
+        cache.put("E2", {"seed": 2}, "b")
+        cache.put("E5", {"seed": 1}, "c")
+        assert cache.get("E2", {"seed": 1}) == (True, "a")
+        assert cache.get("E2", {"seed": 2}) == (True, "b")
+        assert cache.get("E5", {"seed": 1}) == (True, "c")
+
+    def test_param_order_does_not_matter(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f1")
+        cache.put("E2", {"a": 1, "b": 2}, "v")
+        assert cache.get("E2", {"b": 2, "a": 1}) == (True, "v")
+
+    def test_code_fingerprint_change_invalidates(self, tmp_path):
+        before = ResultCache(tmp_path, fingerprint="sha-before")
+        before.put("E2", {"seed": 1}, "old result")
+        after = ResultCache(tmp_path, fingerprint="sha-after")
+        hit, _ = after.get("E2", {"seed": 1})
+        assert not hit  # same dir, same params, new code -> recompute
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="f1")
+        path = cache.put("E2", {"seed": 1}, "v")
+        path.write_bytes(b"not a pickle")
+        hit, value = cache.get("E2", {"seed": 1})
+        assert not hit and value is None
+        assert not path.exists()  # pruned, next put rewrites
+
+
+class TestFingerprint:
+    def test_stable_for_same_tree(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        code_fingerprint.cache_clear()
+        first = code_fingerprint(str(tmp_path))
+        code_fingerprint.cache_clear()
+        assert code_fingerprint(str(tmp_path)) == first
+
+    def test_moves_on_source_change(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        code_fingerprint.cache_clear()
+        first = code_fingerprint(str(tmp_path))
+        (tmp_path / "a.py").write_text("x = 2\n")
+        code_fingerprint.cache_clear()
+        assert code_fingerprint(str(tmp_path)) != first
+
+    def test_real_package_fingerprint_is_memoized(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+def test_canonical_params_sorted_and_repr_fallback():
+    class Odd:
+        def __repr__(self):
+            return "Odd()"
+
+    assert canonical_params({"b": 1, "a": Odd()}) == \
+        canonical_params({"a": Odd(), "b": 1})

@@ -1,0 +1,71 @@
+"""Determinism parity: serial and parallel execution, row for row.
+
+The acceptance gate for the execution engine: every migrated
+experiment must yield an identical ``ExperimentResult`` under
+``--jobs 1`` and ``--jobs N``.  Work items build their simulations
+inside the worker and rows merge in submission order, so any
+divergence here means state leaked between items or the merge
+reordered — both bugs worth failing loudly on.
+
+``REPRO_TEST_JOBS`` (default 2) sets the parallel side's worker count;
+CI pins one matrix leg to run this suite explicitly with 2 jobs.
+"""
+
+import os
+
+from repro.exec import make_executor
+from repro.experiments import (
+    run_e2_delay,
+    run_e5_congestion,
+    run_e20_host_churn,
+    run_e21_adversarial_timing,
+    run_e22_parallel_speedup,
+)
+
+JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+
+E21_SMALL = (("loss", 0.08, 0.00, 0.0, 0.0, 0.00),)
+
+
+def assert_parity(runner, **kwargs):
+    serial = runner(**kwargs)
+    parallel = runner(executor=make_executor(JOBS), **kwargs)
+    assert serial.columns == parallel.columns
+    # repr() is exact for floats and, unlike ==, treats nan as itself
+    # (E20 reports nan recovery times when no host crashed).
+    assert repr(serial.rows) == repr(parallel.rows), (
+        f"{serial.experiment_id}: serial != parallel with jobs={JOBS}")
+    assert serial.notes == parallel.notes
+    return serial
+
+
+def test_e2_serial_equals_parallel():
+    assert_parity(run_e2_delay, ks=(2,), ms=(2,), n=6, warmup=2)
+
+
+def test_e5_serial_equals_parallel():
+    assert_parity(run_e5_congestion, ms=(2,), n=6)
+
+
+def test_e20_serial_equals_parallel():
+    result = assert_parity(run_e20_host_churn, n=6, heal_by=20.0,
+                           mean_up=10.0, mean_down=3.0, horizon=150.0)
+    # Both protocols' row groups made it through the ordered merge.
+    assert {r["protocol"] for r in result.rows} == {"tree", "basic"}
+
+
+def test_e21_small_serial_equals_parallel():
+    result = assert_parity(run_e21_adversarial_timing, n=8, heal_by=25.0,
+                           measure_at=30.0, horizon=150.0, points=E21_SMALL)
+    assert [(r["point"], r["mode"]) for r in result.rows] == [
+        ("loss", "fixed"), ("loss", "adaptive")]
+
+
+def test_e22_reports_parity_against_its_serial_baseline():
+    result = run_e22_parallel_speedup(jobs_list=(1, JOBS), n=6,
+                                      heal_by=25.0, measure_at=30.0,
+                                      horizon=150.0, points=E21_SMALL)
+    assert [r["jobs"] for r in result.rows] == [1, JOBS]
+    assert all(r["rows_match_serial"] for r in result.rows)
+    assert all(r["wall_s"] > 0 for r in result.rows)
+    assert result.rows[0]["speedup"] == 1.0

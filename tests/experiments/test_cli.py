@@ -1,5 +1,8 @@
-"""Tests for the experiments CLI."""
+"""Tests for the experiments CLI: the legacy shim and the unified front door."""
 
+import json
+
+from repro.cli import main as unified_main
 from repro.experiments.cli import main
 
 
@@ -35,10 +38,69 @@ def test_markdown_output(capsys):
 
 
 def test_json_output(tmp_path, capsys):
-    import json
-
     path = tmp_path / "results.json"
     assert main(["E9", "--json", str(path)]) == 0
     data = json.loads(path.read_text())
     assert data[0]["experiment_id"] == "E9"
     assert data[0]["rows"][0]["after"] == "[1, 2, 3]"
+
+
+class TestUnifiedCli:
+    def test_experiments_subcommand_matches_legacy_shim(self, capsys):
+        assert main(["E9", "--markdown"]) == 0
+        legacy = capsys.readouterr().out
+        assert unified_main(["experiments", "E9", "--markdown"]) == 0
+        assert capsys.readouterr().out == legacy
+
+    def test_experiments_list(self, capsys):
+        assert unified_main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E22" in out
+
+    def test_experiments_unknown_returns_2(self, capsys):
+        assert unified_main(["experiments", "E99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_experiments_parallel_jobs(self, capsys):
+        assert unified_main(["experiments", "E9", "E11", "--markdown"]) == 0
+        serial = capsys.readouterr().out
+        assert unified_main(
+            ["experiments", "E9", "E11", "--markdown", "--jobs", "2"]) == 0
+        # Same tables, same order, regardless of which worker finished first.
+        assert capsys.readouterr().out == serial
+
+    def test_experiments_cache_round_trip(self, tmp_path, capsys):
+        argv = ["experiments", "E9", "--cache", "--cache-dir", str(tmp_path)]
+        assert unified_main(argv) == 0
+        first = capsys.readouterr().out
+        assert "finished in" in first
+        assert unified_main(argv) == 0
+        second = capsys.readouterr().out
+        assert "[E9 loaded from cache]" in second
+        # The table itself is identical; only the status line differs.
+        assert second.split("  [E9")[0] == first.split("  [E9")[0]
+
+    def test_cache_miss_on_different_seed(self, tmp_path, capsys):
+        base = ["experiments", "E9", "--cache", "--cache-dir", str(tmp_path)]
+        assert unified_main(base) == 0
+        capsys.readouterr()
+        assert unified_main(base + ["--seed", "123"]) == 0
+        assert "finished in" in capsys.readouterr().out
+
+    def test_sweep_seed_replicas(self, capsys):
+        assert unified_main(["sweep", "E9", "--seeds", "2", "--seed", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "E9-sweep" in out
+        assert "seed" in out
+
+    def test_sweep_unknown_experiment(self, capsys):
+        assert unified_main(["sweep", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_unknown_axis_lists_parameters(self, capsys):
+        assert unified_main(["sweep", "E9", "--set", "bogus=1,2"]) == 2
+        assert "no parameter 'bogus'" in capsys.readouterr().err
+
+    def test_perf_list_scenarios(self, capsys):
+        assert unified_main(["perf", "--list"]) == 0
+        assert "kernel_throughput" in capsys.readouterr().out

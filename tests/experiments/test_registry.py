@@ -1,0 +1,101 @@
+"""The declarative experiment registry and its compatibility surface."""
+
+import pytest
+
+from repro.experiments import ALL_RUNNERS, REGISTRY, ExperimentSpec, get_spec
+from repro.experiments import runners as runners_module
+from repro.experiments.records import ExperimentResult
+from repro.experiments.registry import run_registered
+
+
+def dummy_runner(rng_seed=7, width=3):
+    """A dummy table for spec introspection."""
+    result = ExperimentResult("EX", "dummy", ["rng_seed", "width"])
+    result.add_row(rng_seed=rng_seed, width=width)
+    return result
+
+
+def executor_runner(seed=1, executor=None):
+    result = ExperimentResult("EY", "dummy", ["seed", "saw_executor"])
+    result.add_row(seed=seed, saw_executor=executor is not None)
+    return result
+
+
+class TestSpecIntrospection:
+    def test_defaults_and_title_from_signature(self):
+        spec = ExperimentSpec.from_runner("EX", dummy_runner,
+                                          seed_param="rng_seed")
+        assert spec.defaults == {"rng_seed": 7, "width": 3}
+        assert spec.title == "A dummy table for spec introspection"
+        assert spec.default_seed == 7
+        assert not spec.accepts_executor
+
+    def test_missing_seed_param_fails_at_registration(self):
+        with pytest.raises(ValueError, match="no parameter 'seed'"):
+            ExperimentSpec.from_runner("EX", dummy_runner)
+
+    def test_seed_lands_on_declared_param(self):
+        # The normalization bugfix: --seed must thread through even when
+        # the runner does not call its parameter "seed".
+        spec = ExperimentSpec.from_runner("EX", dummy_runner,
+                                          seed_param="rng_seed")
+        assert spec.run(seed=99).rows[0]["rng_seed"] == 99
+        assert spec.run().rows[0]["rng_seed"] == 7
+
+    def test_executor_forwarded_only_when_accepted(self):
+        from repro.exec import SerialExecutor
+
+        plain = ExperimentSpec.from_runner("EX", dummy_runner,
+                                           seed_param="rng_seed")
+        fanout = ExperimentSpec.from_runner("EY", executor_runner)
+        assert fanout.accepts_executor
+        assert "executor" not in fanout.defaults
+        executor = SerialExecutor()
+        # No TypeError on the serial runner, forwarded to the other.
+        assert plain.run(executor=executor).rows[0]["width"] == 3
+        assert fanout.run(executor=executor).rows[0]["saw_executor"]
+
+    def test_cache_params_resolve_defaults_seed_and_overrides(self):
+        spec = ExperimentSpec.from_runner("EX", dummy_runner,
+                                          seed_param="rng_seed")
+        assert spec.cache_params(seed=5, width=9) == \
+            {"rng_seed": 5, "width": 9}
+        assert spec.cache_params() == {"rng_seed": 7, "width": 3}
+
+
+class TestRegistry:
+    def test_all_e_series_registered(self):
+        for exp_id in ("E1", "E2", "E6b", "E12", "E21", "E22"):
+            assert exp_id in REGISTRY
+        assert len(REGISTRY) == 23
+
+    def test_specs_know_their_runner_defaults(self):
+        spec = get_spec("E2")
+        assert spec.runner is runners_module.run_e2_delay
+        assert spec.seed_param == "seed"
+        assert "ks" in spec.defaults and "ms" in spec.defaults
+        assert spec.accepts_executor
+
+    def test_get_spec_unknown_lists_known_ids(self):
+        with pytest.raises(KeyError, match="E99.*E1"):
+            get_spec("E99")
+
+    def test_run_registered_threads_seed(self):
+        result = run_registered("E9", seed=123)
+        assert result.experiment_id == "E9"
+
+
+class TestCompatibility:
+    def test_all_runners_view_matches_registry(self):
+        assert set(ALL_RUNNERS) == set(REGISTRY)
+        for exp_id, runner in ALL_RUNNERS.items():
+            assert REGISTRY[exp_id].runner is runner
+
+    def test_runners_module_attribute_still_works(self):
+        # Old call sites did `from .runners import ALL_RUNNERS`; the
+        # PEP 562 shim keeps that import path alive.
+        assert runners_module.ALL_RUNNERS is ALL_RUNNERS
+
+    def test_runners_module_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            runners_module.no_such_runner

@@ -67,6 +67,11 @@ class TestWorkloads:
                           burst_gap=1.0)
 
 
+def double_point(a, seed=None):
+    # Module-level so it pickles for the parallel sweep test.
+    return {"double": a * 2, "used_seed": seed}
+
+
 class TestSweep:
     def test_grid_cartesian_deterministic(self):
         points = list(grid(a=[1, 2], b=["x", "y"]))
@@ -78,11 +83,43 @@ class TestSweep:
     def test_grid_empty(self):
         assert list(grid()) == []
 
-    def test_sweep_merges_measurements(self):
-        rows = sweep(lambda a: {"double": a * 2}, a=[1, 2, 3])
-        assert rows == [{"a": 1, "double": 2}, {"a": 2, "double": 4},
-                        {"a": 3, "double": 6}]
+    def test_sweep_returns_experiment_result(self):
+        result = sweep(lambda a: {"double": a * 2}, a=[1, 2, 3])
+        assert result.experiment_id == "sweep"
+        assert result.columns == ["a", "double"]
+        assert result.rows == [{"a": 1, "double": 2}, {"a": 2, "double": 4},
+                               {"a": 3, "double": 6}]
 
-    def test_sweep_rejects_key_collisions(self):
-        with pytest.raises(ValueError):
+    def test_sweep_rejects_key_collisions_naming_the_point(self):
+        with pytest.raises(ValueError, match=r"\{'a': 1\}"):
             sweep(lambda a: {"a": 1}, a=[1])
+
+    def test_sweep_rejects_non_dict_measurements(self):
+        with pytest.raises(TypeError):
+            sweep(lambda a: a * 2, a=[1])
+
+    def test_sweep_base_seed_derives_per_point_seeds(self):
+        result = sweep(double_point, base_seed=7, a=[1, 2])
+        assert result.columns == ["a", "seed", "double", "used_seed"]
+        seeds = [r["seed"] for r in result.rows]
+        assert len(set(seeds)) == 2
+        assert [r["used_seed"] for r in result.rows] == seeds
+        again = sweep(double_point, base_seed=7, a=[1, 2])
+        assert [r["seed"] for r in again.rows] == seeds
+
+    def test_sweep_parallel_matches_serial(self):
+        from repro.exec import make_executor
+
+        serial = sweep(double_point, base_seed=3, a=[1, 2, 3])
+        parallel = sweep(double_point, executor=make_executor(2),
+                         base_seed=3, a=[1, 2, 3])
+        assert serial.columns == parallel.columns
+        assert serial.rows == parallel.rows
+
+    def test_sweep_missing_cells_padded(self):
+        def sparse(a):
+            return {"extra": a} if a == 2 else {"double": a * 2}
+
+        result = sweep(sparse, a=[1, 2])
+        assert result.rows[0]["extra"] == "-"
+        assert result.rows[1]["double"] == "-"

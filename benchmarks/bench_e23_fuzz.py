@@ -1,0 +1,22 @@
+"""E23 — Chaos fuzzing: campaign verdicts and minimal repros.
+
+The same derived-seed fuzz campaign (random topology, workload, and
+composed fault schedule per trial, all healing by the trial horizon)
+runs against both protocols.  The paper's protocol must come out clean
+on every trial, while the basic algorithm's acked-then-lost messages
+under host crashes must surface as liveness failures — each shrunk to
+a minimal fault schedule at most a quarter of the original.
+"""
+
+from repro.experiments import run_e23_fuzz_campaign
+
+
+def test_e23_fuzz_campaign(run_experiment):
+    result = run_experiment(run_e23_fuzz_campaign)
+    rows = {r["protocol"]: r for r in result.rows}
+    tree, basic = rows["tree"], rows["basic"]
+    assert tree["clean"] == tree["trials"], tree
+    assert tree["stable_violation"] == 0, tree
+    assert basic["no_eventual_delivery"] > 0, basic
+    assert basic["shrink_ratio_mean"] <= 0.25, basic
+    assert basic["min_repro_events"] == 1, basic

@@ -20,6 +20,7 @@ from .plan import (
     LinkChurnSpec,
     LinkOutageSpec,
     PartitionSpec,
+    PartitionWindowSpec,
     ServerOutageSpec,
 )
 
@@ -35,5 +36,6 @@ __all__ = [
     "PacketChaos",
     "PacketFaultSpec",
     "PartitionSpec",
+    "PartitionWindowSpec",
     "ServerOutageSpec",
 ]

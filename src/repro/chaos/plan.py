@@ -1,8 +1,9 @@
 """ChaosPlan: one declarative, seeded spec composing every injector.
 
 A :class:`ChaosSpec` names the faults to inject — host crashes, host
-churn, link outages, link churn, server outages, partitions — plus a
-``heal_by`` horizon.  :class:`ChaosPlan` turns the spec into live
+churn, link outages, link churn, server outages, partitions (one-shot
+windows or periodic brief-connectivity schedules), packet faults —
+plus a ``heal_by`` horizon.  :class:`ChaosPlan` turns the spec into live
 injectors and **guarantees** that by ``heal_by`` every injected fault
 has been repaired: scheduled outages are validated to end before the
 horizon at construction time, and churners are stopped and force-healed
@@ -27,7 +28,9 @@ from ..net import (
     LinkFlapper,
     PartitionScheduler,
     ServerOutageSchedule,
+    cut_links_between,
 )
+from ..scenarios.partitions import BriefWindowSchedule, WindowSpec
 from ..sim import Simulator
 from .hosts import HostCrashSchedule, HostFlapper
 from .packets import PacketChaos, PacketFaultSpec
@@ -71,6 +74,26 @@ class PartitionSpec:
 
 
 @dataclass(frozen=True)
+class PartitionWindowSpec:
+    """``groups`` stay partitioned until ``until``, except during brief
+    periodic connectivity windows (the Section 6 trade-off scenario,
+    :class:`~repro.scenarios.partitions.BriefWindowSchedule`, as a
+    composable chaos fault).  The partition must end before the plan's
+    heal-by horizon."""
+
+    groups: Tuple[Tuple[str, ...], ...]
+    window: WindowSpec
+    until: float
+
+    def __post_init__(self) -> None:
+        if len(self.groups) < 2:
+            raise ValueError(f"{self}: need at least two groups")
+        if self.until <= self.window.first_open:
+            raise ValueError(
+                f"{self}: until must be after the first window opens")
+
+
+@dataclass(frozen=True)
 class HostChurnSpec:
     """Exponential up/down churn over ``hosts`` until the heal horizon."""
 
@@ -97,6 +120,9 @@ class ChaosSpec:
     link_outages: Tuple[LinkOutageSpec, ...] = ()
     server_outages: Tuple[ServerOutageSpec, ...] = ()
     partitions: Tuple[PartitionSpec, ...] = ()
+    #: long-lived partitions relieved only by brief periodic windows;
+    #: each must end (and its links be repaired) before ``heal_by``
+    window_partitions: Tuple[PartitionWindowSpec, ...] = ()
     host_churn: Tuple[HostChurnSpec, ...] = ()
     link_churn: Tuple[LinkChurnSpec, ...] = ()
     #: packet-level faults (corrupt/duplicate/delay/replay); an open
@@ -114,6 +140,11 @@ class ChaosSpec:
             if outage.end > self.heal_by:
                 raise ValueError(
                     f"{outage}: ends after the heal_by horizon {self.heal_by}")
+        for windowed in self.window_partitions:
+            if windowed.until >= self.heal_by:
+                raise ValueError(
+                    f"{windowed}: must end before the heal_by horizon "
+                    f"{self.heal_by}")
         for churn in (*self.host_churn, *self.link_churn):
             if churn.mean_up <= 0 or churn.mean_down <= 0:
                 raise ValueError(f"{churn}: means must be positive")
@@ -160,6 +191,14 @@ class ChaosPlan:
             PartitionScheduler(self.sim, self.network).partition(
                 [list(group) for group in outage.groups],
                 outage.start, outage.end)
+        for windowed in spec.window_partitions:
+            cut = set()
+            for i, group_a in enumerate(windowed.groups):
+                for group_b in windowed.groups[i + 1:]:
+                    cut.update(cut_links_between(
+                        self.network, group_a, group_b))
+            BriefWindowSchedule(self.sim, self.network, sorted(cut),
+                                windowed.window, windowed.until)
         for idx, churn in enumerate(spec.host_churn):
             self._host_flappers.append(HostFlapper(
                 self.sim, self.system,

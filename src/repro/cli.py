@@ -5,6 +5,8 @@ One front door for the three historical entry points::
     python -m repro experiments [E1 E5 ...] [--seed N] [--jobs N] [--cache]
     python -m repro perf [--quick] [--jobs N] [--json PATH]
     python -m repro sweep E21 --set n=10,20 --seeds 3 [--jobs N]
+    python -m repro fuzz run --trials 50 --seed 7 --jobs 4
+    python -m repro fuzz replay fuzz-artifacts/repro-7-3.json
 
 Flags are consistent across subcommands: ``--seed`` overrides the RNG
 seed, ``--jobs`` fans work out over the process-pool engine
@@ -301,6 +303,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "derived seed replicas, merging rows into one table.")
     add_sweep_args(sweep)
     sweep.set_defaults(func=run_sweep_command)
+
+    from .fuzz.cli import add_fuzz_args, run_fuzz_command
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="fuzz the fault space; shrink and replay failures",
+        description="Seed-deterministic chaos fuzzing: random fault "
+                    "schedules, delta-debugged minimal repros, and "
+                    "byte-identical artifact replay.")
+    add_fuzz_args(fuzz)
+    fuzz.set_defaults(func=run_fuzz_command)
     return parser
 
 

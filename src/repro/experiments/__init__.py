@@ -33,6 +33,7 @@ from .runners import (
     run_e20_host_churn,
     run_e21_adversarial_timing,
     run_e22_parallel_speedup,
+    run_e23_fuzz_campaign,
 )
 from .sweep import grid, sweep
 from .workload import bursty_stream, constant_rate_stream, poisson_stream
@@ -72,4 +73,5 @@ __all__ = [
     "run_e20_host_churn",
     "run_e21_adversarial_timing",
     "run_e22_parallel_speedup",
+    "run_e23_fuzz_campaign",
 ]

@@ -46,6 +46,7 @@ from .runners import (
     run_e20_host_churn,
     run_e21_adversarial_timing,
     run_e22_parallel_speedup,
+    run_e23_fuzz_campaign,
 )
 
 RunnerFn = Callable[..., ExperimentResult]
@@ -181,6 +182,7 @@ for _exp_id, _runner in (
     ("E20", run_e20_host_churn),
     ("E21", run_e21_adversarial_timing),
     ("E22", run_e22_parallel_speedup),
+    ("E23", run_e23_fuzz_campaign),
 ):
     register(_exp_id, _runner)
 

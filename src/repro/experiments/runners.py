@@ -1321,6 +1321,56 @@ def run_e22_parallel_speedup(seed: int = 21,
     return result
 
 
+# ----------------------------------------------------------------------
+# E23 — chaos fuzzing: campaign verdicts and minimal-repro shrinking
+# ----------------------------------------------------------------------
+
+
+def run_e23_fuzz_campaign(seed: int = 7, trials: int = 10,
+                          protocols: Sequence[str] = ("tree", "basic"),
+                          max_shrink_evals: int = 120,
+                          executor: Optional[Executor] = None
+                          ) -> ExperimentResult:
+    """E23: seed-deterministic chaos fuzzing — tree vs the basic algorithm.
+
+    Runs the same derived-seed fuzz campaign (random topology, workload,
+    and composed fault schedule per trial; every fault heals by the
+    trial's horizon) against both protocols.  The paper's protocol must
+    come out clean on every trial — eventual delivery after healing is
+    its core claim — while the basic algorithm's acked-then-lost
+    messages under host crashes surface as ``no_eventual_delivery``
+    verdicts.  Each failure is delta-debugged to a minimal fault
+    schedule; ``shrink_ratio_mean`` is shrunk/original fault-event
+    count and ``min_repro_events`` the smallest repro found.
+    """
+    from ..fuzz import FuzzOptions, run_campaign
+
+    result = ExperimentResult(
+        "E23", "Chaos fuzzing: campaign verdicts and minimal repros",
+        ["protocol", "trials", "clean", "stable_violation",
+         "no_eventual_delivery", "shrink_ratio_mean", "min_repro_events"])
+    for protocol in protocols:
+        summary = run_campaign(
+            trials=trials, base_seed=seed,
+            options=FuzzOptions(protocol=protocol),
+            executor=executor, max_shrink_evals=max_shrink_evals)
+        counts = summary.counts()
+        ratios = summary.shrink_ratios()
+        result.add_row(
+            protocol=protocol, trials=trials, clean=summary.clean,
+            stable_violation=counts.get("stable_violation", 0),
+            no_eventual_delivery=counts.get("no_eventual_delivery", 0),
+            shrink_ratio_mean=(sum(ratios) / len(ratios)
+                               if ratios else float("nan")),
+            min_repro_events=(summary.min_repro_events()
+                              if summary.min_repro_events() is not None
+                              else "-"))
+    result.note("per-trial seeds are SHA-256-derived from the base seed, "
+                "so campaigns are reproducible and serial == parallel; "
+                "failures replay via `python -m repro fuzz replay`")
+    return result
+
+
 def __getattr__(name: str):  # PEP 562 back-compat shim
     """``runners.ALL_RUNNERS`` now lives in :mod:`repro.experiments.registry`.
 

@@ -1,0 +1,70 @@
+"""Deterministic chaos fuzzing: search the fault space, shrink, replay.
+
+The chaos layer (:mod:`repro.chaos`) can *express* any composition of
+host, link, server, partition, and packet faults; this package
+*searches* that space.  A campaign draws seed-derived random trials
+(:mod:`~repro.fuzz.generator`), runs each against the protocol's
+reliability properties (:mod:`~repro.fuzz.properties`), delta-debugs
+every failure to a minimal fault schedule (:mod:`~repro.fuzz.shrinker`),
+and archives it as a self-contained JSON artifact replayable
+byte-identically with ``python -m repro fuzz replay``
+(:mod:`~repro.fuzz.artifact`).  Campaigns fan out over
+:mod:`repro.exec` with serial == parallel parity.  DESIGN.md §11 states
+the invariants.
+"""
+
+from .artifact import (
+    ReproArtifact,
+    load_artifact,
+    replay,
+    save_artifact,
+    spec_from_dict,
+    spec_to_dict,
+)
+from .corpus import CampaignSummary, TrialRecord, run_campaign, run_generated_trial
+from .generator import (
+    FuzzOptions,
+    TopologySpec,
+    TrialSpec,
+    WorkloadSpec,
+    generate_trial,
+)
+from .properties import (
+    CLEAN,
+    FAILURE_CLASSES,
+    NO_EVENTUAL_DELIVERY,
+    STABLE_VIOLATION,
+    TrialOutcome,
+    delivery_signature,
+    run_trial,
+)
+from .shrinker import ShrinkResult, fault_event_count, fault_events, shrink_trial
+
+__all__ = [
+    "CLEAN",
+    "CampaignSummary",
+    "FAILURE_CLASSES",
+    "FuzzOptions",
+    "NO_EVENTUAL_DELIVERY",
+    "ReproArtifact",
+    "STABLE_VIOLATION",
+    "ShrinkResult",
+    "TopologySpec",
+    "TrialOutcome",
+    "TrialRecord",
+    "TrialSpec",
+    "WorkloadSpec",
+    "delivery_signature",
+    "fault_event_count",
+    "fault_events",
+    "generate_trial",
+    "load_artifact",
+    "replay",
+    "run_campaign",
+    "run_generated_trial",
+    "run_trial",
+    "save_artifact",
+    "shrink_trial",
+    "spec_from_dict",
+    "spec_to_dict",
+]

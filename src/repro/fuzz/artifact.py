@@ -1,0 +1,161 @@
+"""Self-contained JSON repro artifacts: save a failure, replay it anywhere.
+
+An artifact captures one failing :class:`TrialSpec` (usually already
+shrunk), the failure class it reproduces, and the delivery signature
+the replay must match byte-for-byte.  Everything is plain JSON — no
+pickles, no code references — so an artifact attached to a bug report
+or uploaded from CI replays identically on any checkout with::
+
+    python -m repro fuzz replay repro-XYZ.json
+
+Encoding is canonical (sorted keys, fixed separators, trailing
+newline): saving the same artifact twice produces byte-identical files,
+so artifacts diff cleanly and deduplicate by content hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..chaos import (
+    ChaosSpec,
+    HostChurnSpec,
+    HostOutageSpec,
+    LinkChurnSpec,
+    LinkOutageSpec,
+    PartitionSpec,
+    PartitionWindowSpec,
+    PacketFaultSpec,
+    ServerOutageSpec,
+)
+from ..scenarios.partitions import WindowSpec
+from .generator import TopologySpec, TrialSpec, WorkloadSpec
+from .properties import TrialOutcome, run_trial
+
+SCHEMA = "repro.fuzz.artifact/v1"
+
+#: ChaosSpec event fields and their element types, for reconstruction
+_CHAOS_EVENT_TYPES: Dict[str, type] = {
+    "host_outages": HostOutageSpec,
+    "link_outages": LinkOutageSpec,
+    "server_outages": ServerOutageSpec,
+    "partitions": PartitionSpec,
+    "window_partitions": PartitionWindowSpec,
+    "host_churn": HostChurnSpec,
+    "link_churn": LinkChurnSpec,
+    "packet_faults": PacketFaultSpec,
+}
+
+
+def _tuplify(value: Any) -> Any:
+    """JSON lists back to the tuples the frozen specs expect."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def spec_to_dict(spec: TrialSpec) -> Dict[str, Any]:
+    """A plain-JSON encoding of a trial (tuples become lists)."""
+    return dataclasses.asdict(spec)
+
+
+def spec_from_dict(data: Dict[str, Any]) -> TrialSpec:
+    """Reconstruct a :class:`TrialSpec` from :func:`spec_to_dict` output."""
+    chaos_data = dict(data["chaos"])
+    chaos_kwargs: Dict[str, Any] = {"heal_by": chaos_data["heal_by"]}
+    for field_name, event_type in _CHAOS_EVENT_TYPES.items():
+        events = []
+        for entry in chaos_data.get(field_name, ()):  # absent field: empty
+            entry = {key: _tuplify(value) for key, value in entry.items()}
+            if event_type is PartitionWindowSpec and isinstance(
+                    entry["window"], dict):
+                entry["window"] = WindowSpec(**entry["window"])
+            events.append(event_type(**entry))
+        chaos_kwargs[field_name] = tuple(events)
+    return TrialSpec(
+        seed=data["seed"],
+        protocol=data["protocol"],
+        adaptive=data["adaptive"],
+        crash_stable_lag=data["crash_stable_lag"],
+        topology=TopologySpec(**data["topology"]),
+        workload=WorkloadSpec(**data["workload"]),
+        chaos=ChaosSpec(**chaos_kwargs),
+        horizon=data["horizon"],
+        stable_window=data.get("stable_window", 20.0),
+    )
+
+
+@dataclass(frozen=True)
+class ReproArtifact:
+    """One replayable failure: the trial plus what it must reproduce."""
+
+    spec: TrialSpec
+    expected_classification: str
+    expected_signature: str
+    #: fault events before shrinking (== events when never shrunk)
+    original_events: int = 0
+    shrink_evals: int = 0
+    note: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "spec": spec_to_dict(self.spec),
+            "expected": {
+                "classification": self.expected_classification,
+                "signature": self.expected_signature,
+            },
+            "shrink": {
+                "original_events": self.original_events,
+                "evals": self.shrink_evals,
+            },
+            "note": self.note,
+            "replay_with": "python -m repro fuzz replay <this file>",
+        }
+
+
+def artifact_from_dict(data: Dict[str, Any]) -> ReproArtifact:
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported artifact schema {data.get('schema')!r}; "
+            f"this build reads {SCHEMA!r}")
+    shrink = data.get("shrink", {})
+    return ReproArtifact(
+        spec=spec_from_dict(data["spec"]),
+        expected_classification=data["expected"]["classification"],
+        expected_signature=data["expected"]["signature"],
+        original_events=shrink.get("original_events", 0),
+        shrink_evals=shrink.get("evals", 0),
+        note=data.get("note", ""),
+    )
+
+
+def save_artifact(artifact: ReproArtifact, path: str) -> str:
+    """Write canonical JSON (byte-stable across saves); returns ``path``."""
+    blob = json.dumps(artifact.as_dict(), indent=2, sort_keys=True)
+    with open(path, "w", encoding="utf-8") as out:
+        out.write(blob)
+        out.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> ReproArtifact:
+    with open(path, "r", encoding="utf-8") as handle:
+        return artifact_from_dict(json.load(handle))
+
+
+def replay(artifact: ReproArtifact) -> Tuple[TrialOutcome, bool]:
+    """Re-run the artifact's trial; True when it reproduces exactly.
+
+    "Exactly" means the failure classification matches *and* the
+    delivery signature is byte-identical — the replayed simulation made
+    every delivery at the same time from the same supplier.
+    """
+    outcome = run_trial(artifact.spec)
+    reproduced = (
+        outcome.classification == artifact.expected_classification
+        and outcome.signature == artifact.expected_signature)
+    return outcome, reproduced

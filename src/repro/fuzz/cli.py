@@ -1,0 +1,129 @@
+"""``python -m repro fuzz`` — run campaigns and replay repro artifacts.
+
+Two subcommands::
+
+    python -m repro fuzz run --trials 50 --seed 7 --jobs 4 \\
+        --out fuzz-artifacts [--protocol tree|basic] [--json PATH]
+    python -m repro fuzz replay fuzz-artifacts/repro-7-3.json
+
+``run`` exits 0 when every trial is clean and 1 when any violation was
+found (so a CI leg over a healthy configuration asserts cleanliness by
+exit code alone); ``replay`` exits 0 only when the artifact reproduces
+its recorded failure class *and* delivery signature byte-identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..exec import make_executor
+from .artifact import load_artifact, replay
+from .corpus import run_campaign
+from .generator import FuzzOptions
+
+
+def add_fuzz_args(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="fuzz_command", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="run a fuzz campaign, shrinking and archiving failures",
+        description="Run seed-derived random trials; failures are "
+                    "delta-debugged to minimal repros and written as "
+                    "replayable JSON artifacts.")
+    run_p.add_argument("--trials", type=int, default=20, metavar="N",
+                       help="number of trials (default 20)")
+    run_p.add_argument("--seed", type=int, default=0,
+                       help="campaign base seed; per-trial seeds are "
+                            "SHA-256-derived from it (default 0)")
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan trials out over N worker processes "
+                            "(bit-identical to --jobs 1)")
+    run_p.add_argument("--protocol", choices=("tree", "basic"),
+                       default="tree",
+                       help="protocol under test (default tree)")
+    run_p.add_argument("--adaptive-frac", type=float, default=0.5,
+                       metavar="P",
+                       help="probability a tree trial runs the adaptive "
+                            "control plane (default 0.5)")
+    run_p.add_argument("--max-events", type=int, default=14, metavar="N",
+                       help="max fault events per trial (default 14)")
+    run_p.add_argument("--horizon", type=float, default=300.0, metavar="S",
+                       help="eventual-delivery deadline in simulated "
+                            "seconds (default 300)")
+    run_p.add_argument("--no-shrink", action="store_true",
+                       help="archive raw failures without delta-debugging")
+    run_p.add_argument("--shrink-evals", type=int, default=120, metavar="N",
+                       help="max candidate re-runs per shrink (default 120)")
+    run_p.add_argument("--out", default="fuzz-artifacts", metavar="DIR",
+                       help="directory for repro artifacts "
+                            "(default fuzz-artifacts)")
+    run_p.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the campaign summary as JSON")
+    run_p.set_defaults(fuzz_func=_run)
+
+    replay_p = sub.add_parser(
+        "replay", help="replay a repro artifact and verify it reproduces",
+        description="Re-run the artifact's trial; succeeds only when the "
+                    "recorded failure class and delivery signature are "
+                    "reproduced byte-identically.")
+    replay_p.add_argument("artifact", help="path to a repro-*.json artifact")
+    replay_p.add_argument("--json", metavar="PATH", default=None,
+                         help="write the replay outcome as JSON")
+    replay_p.set_defaults(fuzz_func=_replay)
+
+
+def _run(args: argparse.Namespace) -> int:
+    options = FuzzOptions(
+        protocol=args.protocol,
+        adaptive_frac=args.adaptive_frac,
+        max_fault_events=max(args.max_events, 1),
+        min_fault_events=min(6, max(args.max_events, 1)),
+        horizon=args.horizon,
+    )
+    jobs = max(1, args.jobs)
+    executor = make_executor(jobs) if jobs > 1 else None
+    summary = run_campaign(
+        trials=args.trials, base_seed=args.seed, options=options,
+        executor=executor, shrink=not args.no_shrink,
+        max_shrink_evals=args.shrink_evals, artifact_dir=args.out)
+    print(summary.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as out:
+            json.dump(summary.as_dict(), out, indent=2)
+            out.write("\n")
+        print(f"wrote campaign summary to {args.json}", file=sys.stderr)
+    return 1 if summary.failures else 0
+
+
+def _replay(args: argparse.Namespace) -> int:
+    artifact = load_artifact(args.artifact)
+    outcome, reproduced = replay(artifact)
+    print(f"artifact:       {args.artifact}")
+    print(f"expected:       {artifact.expected_classification} "
+          f"(signature {artifact.expected_signature[:16]}...)")
+    print(f"replayed:       {outcome.classification} "
+          f"(signature {outcome.signature[:16]}...)")
+    print(f"delivered:      {outcome.delivered_fraction:.3f}")
+    if outcome.violations:
+        print(f"violations:     {', '.join(outcome.violations)}")
+    if outcome.missing:
+        print(f"missing pairs:  {len(outcome.missing)} "
+              f"(first: {outcome.missing[0]})")
+    print(f"reproduced:     {reproduced}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as out:
+            json.dump({
+                "artifact": args.artifact,
+                "reproduced": reproduced,
+                "classification": outcome.classification,
+                "signature": outcome.signature,
+                "delivered_fraction": outcome.delivered_fraction,
+            }, out, indent=2)
+            out.write("\n")
+    return 0 if reproduced else 1
+
+
+def run_fuzz_command(args: argparse.Namespace) -> int:
+    return int(args.fuzz_func(args))

@@ -1,0 +1,193 @@
+"""Campaign orchestration: fan trials out, shrink failures, summarize.
+
+:func:`run_campaign` is the fuzzer's top level.  Trial *i* of a
+campaign runs under a SHA-256-derived seed
+(:func:`repro.exec.derive_seed` of the base seed and the trial index),
+so the campaign is one deterministic function of ``(base_seed, trials,
+options)`` — and because generation *and* execution happen inside the
+work item, fanning trials over a
+:class:`~repro.exec.engine.ProcessExecutor` produces bit-identical
+records to a serial run (the engine's ordered-merge guarantee does the
+rest).
+
+Failures are shrunk **in the parent process, serially, in trial
+order** — shrinking re-runs candidate simulations many times, and
+keeping it out of the workers keeps worker wall-times comparable and
+the shrink results independent of ``--jobs``.  Each shrunk failure is
+written as a replayable JSON artifact named by campaign seed and trial
+index.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exec import Executor, SerialExecutor, WorkItem, derive_seed, values_or_raise
+from .artifact import ReproArtifact, save_artifact
+from .generator import FuzzOptions, TrialSpec, generate_trial
+from .properties import CLEAN, TrialOutcome, run_trial
+from .shrinker import ShrinkResult, fault_event_count, shrink_trial
+
+
+def run_generated_trial(trial_seed: int, options: FuzzOptions
+                        ) -> Tuple[TrialSpec, TrialOutcome]:
+    """Generate and run one trial (module-level: picklable for workers)."""
+    spec = generate_trial(trial_seed, options)
+    return spec, run_trial(spec)
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One campaign trial's verdict, plus shrink results when it failed."""
+
+    index: int
+    seed: int
+    classification: str
+    signature: str
+    fault_events: int
+    delivered_fraction: float
+    shrunk_events: Optional[int] = None
+    shrink_evals: int = 0
+    artifact: Optional[str] = None
+
+    @property
+    def shrink_ratio(self) -> Optional[float]:
+        if self.shrunk_events is None or self.fault_events == 0:
+            return None
+        return self.shrunk_events / self.fault_events
+
+
+@dataclass
+class CampaignSummary:
+    """Everything one fuzz campaign observed."""
+
+    base_seed: int
+    trials: int
+    options: FuzzOptions
+    records: List[TrialRecord] = field(default_factory=list)
+
+    @property
+    def clean(self) -> int:
+        return sum(1 for r in self.records if r.classification == CLEAN)
+
+    @property
+    def failures(self) -> List[TrialRecord]:
+        return [r for r in self.records if r.classification != CLEAN]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.classification] = out.get(record.classification, 0) + 1
+        return out
+
+    def shrink_ratios(self) -> List[float]:
+        return [r.shrink_ratio for r in self.failures
+                if r.shrink_ratio is not None]
+
+    def min_repro_events(self) -> Optional[int]:
+        shrunk = [r.shrunk_events for r in self.failures
+                  if r.shrunk_events is not None]
+        return min(shrunk) if shrunk else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "base_seed": self.base_seed,
+            "trials": self.trials,
+            "options": {
+                "protocol": self.options.protocol,
+                "adaptive_frac": self.options.adaptive_frac,
+                "horizon": self.options.horizon,
+            },
+            "counts": self.counts(),
+            "records": [{
+                "index": r.index,
+                "seed": r.seed,
+                "classification": r.classification,
+                "signature": r.signature,
+                "fault_events": r.fault_events,
+                "delivered_fraction": round(r.delivered_fraction, 6),
+                "shrunk_events": r.shrunk_events,
+                "shrink_evals": r.shrink_evals,
+                "artifact": r.artifact,
+            } for r in self.records],
+        }
+
+    def render(self) -> str:
+        """Human-readable campaign report."""
+        lines = [f"fuzz campaign: {self.trials} trial(s), base seed "
+                 f"{self.base_seed}, protocol {self.options.protocol}"]
+        for name, value in sorted(self.counts().items()):
+            lines.append(f"  {name:22s} {value}")
+        ratios = self.shrink_ratios()
+        if ratios:
+            lines.append(
+                f"  shrink ratio mean {sum(ratios) / len(ratios):.2f} "
+                f"(min repro: {self.min_repro_events()} event(s))")
+        for record in self.failures:
+            where = f" -> {record.artifact}" if record.artifact else ""
+            shrunk = ("" if record.shrunk_events is None
+                      else f", shrunk {record.fault_events}->"
+                           f"{record.shrunk_events} events")
+            lines.append(f"  trial {record.index} (seed {record.seed}): "
+                         f"{record.classification}{shrunk}{where}")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    trials: int,
+    base_seed: int,
+    options: FuzzOptions = FuzzOptions(),
+    executor: Optional[Executor] = None,
+    shrink: bool = True,
+    max_shrink_evals: int = 120,
+    artifact_dir: Optional[str] = None,
+) -> CampaignSummary:
+    """Run ``trials`` derived-seed trials; shrink and archive failures."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    items = [
+        WorkItem(key=("fuzz", base_seed, index), fn=run_generated_trial,
+                 kwargs=dict(trial_seed=derive_seed(base_seed, "fuzz", index),
+                             options=options))
+        for index in range(trials)
+    ]
+    results = values_or_raise((executor or SerialExecutor()).map(items))
+
+    summary = CampaignSummary(base_seed=base_seed, trials=trials,
+                              options=options)
+    if artifact_dir is not None:
+        os.makedirs(artifact_dir, exist_ok=True)
+    for index, (spec, outcome) in enumerate(results):
+        events = fault_event_count(spec.chaos)
+        shrunk: Optional[ShrinkResult] = None
+        artifact_path: Optional[str] = None
+        if outcome.failed and shrink:
+            shrunk = shrink_trial(spec, outcome, max_evals=max_shrink_evals)
+        if outcome.failed and artifact_dir is not None:
+            final_spec = shrunk.spec if shrunk else spec
+            final_outcome = shrunk.outcome if shrunk else outcome
+            artifact_path = os.path.join(
+                artifact_dir, f"repro-{base_seed}-{index}.json")
+            save_artifact(ReproArtifact(
+                spec=final_spec,
+                expected_classification=final_outcome.classification,
+                expected_signature=final_outcome.signature,
+                original_events=events,
+                shrink_evals=shrunk.evals if shrunk else 0,
+                note=(f"fuzz campaign seed {base_seed}, trial {index}; "
+                      f"protocol {options.protocol}"),
+            ), artifact_path)
+        summary.records.append(TrialRecord(
+            index=index,
+            seed=items[index].kwargs["trial_seed"],
+            classification=outcome.classification,
+            signature=outcome.signature,
+            fault_events=events,
+            delivered_fraction=outcome.delivered_fraction,
+            shrunk_events=shrunk.events if shrunk else None,
+            shrink_evals=shrunk.evals if shrunk else 0,
+            artifact=artifact_path,
+        ))
+    return summary

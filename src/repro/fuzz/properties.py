@@ -1,0 +1,154 @@
+"""Trial execution and property checking: spec in, verdict out.
+
+:func:`run_trial` is the single place a :class:`TrialSpec` becomes a
+live simulation.  It deploys the chosen protocol over the generated
+topology, arms the :class:`~repro.verify.monitor.InvariantMonitor` (tree
+protocol only — the basic algorithm has no parent graph to check),
+starts the :class:`~repro.chaos.plan.ChaosPlan`, streams the workload,
+lets the chaos window play out, and then gives the protocol until the
+trial horizon to finish delivering.  The verdict is one of three
+classes, checked in severity order:
+
+* ``stable_violation`` — a §4.3 safety invariant (harmful parent cycle,
+  INFO dominance) persisted past the monitor's stable window, *or* was
+  still unresolved when the run ended;
+* ``no_eventual_delivery`` — the network healed, the horizon passed,
+  and some host still misses part of the stream: the paper's core
+  liveness claim failed;
+* ``clean`` — everything delivered, no stable violation.
+
+Every outcome carries a **delivery signature**: a SHA-256 digest over
+the canonical JSON of every host's delivery records (sequence, time,
+supplier, gap-fill flag).  Two runs of the same spec must produce the
+same signature byte-for-byte — that is the replay guarantee repro
+artifacts (and the serial == parallel parity tests) assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..baseline import BasicBroadcastSystem, BasicConfig
+from ..chaos import ChaosPlan
+from ..core import BroadcastSystem, ProtocolConfig
+from ..verify import InvariantMonitor
+from .generator import FUZZ_DATA_BITS, TrialSpec, build_topology
+
+CLEAN = "clean"
+STABLE_VIOLATION = "stable_violation"
+NO_EVENTUAL_DELIVERY = "no_eventual_delivery"
+
+#: verdicts that make a trial a *failure* worth shrinking
+FAILURE_CLASSES = (STABLE_VIOLATION, NO_EVENTUAL_DELIVERY)
+
+#: cap on the missing-pair list kept in an outcome (repro artifacts
+#: must stay small; the full list is recomputable from the spec)
+_MISSING_CAP = 50
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """The deterministic verdict of one trial."""
+
+    classification: str
+    delivered_fraction: float
+    #: undelivered (host, seq) pairs, sorted, capped at 50
+    missing: Tuple[Tuple[str, int], ...]
+    #: structural keys of stable / unresolved violations ("kind/h1/h2")
+    violations: Tuple[str, ...]
+    #: SHA-256 over canonical per-host delivery records
+    signature: str
+    end_time: float
+
+    @property
+    def failed(self) -> bool:
+        return self.classification in FAILURE_CLASSES
+
+
+def delivery_signature(system) -> str:
+    """Canonical digest of every host's delivery records."""
+    payload: List[List[object]] = []
+    for host_id in sorted(system.hosts, key=str):
+        records = sorted(system.hosts[host_id].deliveries.records(),
+                         key=lambda r: r.seq)
+        payload.append([str(host_id),
+                        [[r.seq, round(r.delivered_at, 9), str(r.supplier),
+                          bool(r.via_gapfill)] for r in records]])
+    blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def build_system(spec: TrialSpec):
+    """Deploy the trial's protocol instance (started) over its topology."""
+    sim, built = build_topology(spec)
+    n_hosts = spec.topology.clusters * spec.topology.hosts_per_cluster
+    if spec.protocol == "tree":
+        config = ProtocolConfig.for_scale(
+            n_hosts, data_size_bits=FUZZ_DATA_BITS,
+            crash_stable_lag=spec.crash_stable_lag, adaptive=spec.adaptive)
+        system = BroadcastSystem(built, config=config)
+    elif spec.protocol == "basic":
+        system = BasicBroadcastSystem(built, config=BasicConfig(
+            data_size_bits=FUZZ_DATA_BITS,
+            crash_stable_lag=spec.crash_stable_lag))
+    else:
+        raise ValueError(f"unknown protocol {spec.protocol!r}")
+    return sim, built, system.start()
+
+
+def run_trial(spec: TrialSpec) -> TrialOutcome:
+    """Run one trial to its verdict (pure function of the spec)."""
+    sim, built, system = build_system(spec)
+    monitor = None
+    if spec.protocol == "tree":
+        monitor = InvariantMonitor(system, sample_period=1.0,
+                                   stable_window=spec.stable_window).start()
+    ChaosPlan(sim, system, spec.chaos).start()
+    n = spec.workload.n
+    system.broadcast_stream(n, interval=spec.workload.interval,
+                            start_at=spec.workload.start_at)
+    sim.run(until=spec.chaos.heal_by + 1.0)  # chaos window plays out fully
+    delivered_all = system.run_until_delivered(n, timeout=spec.horizon)
+
+    violations: Tuple[str, ...] = ()
+    if monitor is not None:
+        # Settle past one full stable window before the verdict: any
+        # violation active right now either resolves (transient, fine)
+        # or crosses the stable threshold — and stop() closes streaks
+        # still open at that point, so a violation alive at the very
+        # end is judged by its true duration, never dropped.
+        sim.run(until=sim.now + spec.stable_window + 1.0)
+        monitor.stop()
+        report = monitor.report()
+        violations = tuple(sorted(
+            "/".join(span.key) for span in set(report.stable_violations)))
+
+    missing: List[Tuple[str, int]] = []
+    delivered_pairs = 0
+    for host_id in built.hosts:
+        info_deliveries = system.hosts[host_id].deliveries
+        for seq in range(1, n + 1):
+            if seq in info_deliveries:
+                delivered_pairs += 1
+            else:
+                missing.append((str(host_id), seq))
+    total_pairs = len(built.hosts) * n
+
+    if violations:
+        classification = STABLE_VIOLATION
+    elif not delivered_all:
+        classification = NO_EVENTUAL_DELIVERY
+    else:
+        classification = CLEAN
+    return TrialOutcome(
+        classification=classification,
+        delivered_fraction=(delivered_pairs / total_pairs
+                            if total_pairs else 1.0),
+        missing=tuple(sorted(missing)[:_MISSING_CAP]),
+        violations=violations,
+        signature=delivery_signature(system),
+        end_time=round(sim.now, 9),
+    )

@@ -55,17 +55,25 @@ class WindowSpec:
 
 
 class BriefWindowSchedule:
-    """Keep a set of links down except during periodic brief windows."""
+    """Keep a set of links down except during periodic brief windows.
+
+    ``built`` may be a :class:`~repro.net.generator.BuiltTopology` or a
+    bare :class:`~repro.net.topology.Network` — chaos orchestration
+    (:class:`repro.chaos.plan.ChaosPlan`) only has the network.
+    """
 
     def __init__(
         self,
         sim: Simulator,
-        built: BuiltTopology,
+        built,
         links: Sequence[Tuple[str, str]],
         window: WindowSpec,
         until: float,
     ) -> None:
-        self.schedule = FailureSchedule(sim, built.network)
+        if until <= window.first_open:
+            raise ValueError(
+                f"until {until} must be after first_open {window.first_open}")
+        self.schedule = FailureSchedule(sim, getattr(built, "network", built))
         self.windows: List[Tuple[float, float]] = []
         # Down from t=0 (well, immediately) until the first window.
         for a, b in links:

@@ -41,6 +41,9 @@ class ViolationSpan:
     first_seen: float
     last_seen: float
     stable: bool
+    #: the streak was still active when the monitor stopped (or the
+    #: report was taken) — the violation was never observed to resolve
+    unresolved_at_end: bool = False
 
     @property
     def duration(self) -> float:
@@ -64,6 +67,11 @@ class MonitorReport:
     @property
     def transient_violations(self) -> Tuple[ViolationSpan, ...]:
         return tuple(s for s in self.spans if not s.stable)
+
+    @property
+    def unresolved_violations(self) -> Tuple[ViolationSpan, ...]:
+        """Violations still active when monitoring ended (any duration)."""
+        return tuple(s for s in self.spans if s.unresolved_at_end)
 
     @property
     def clean(self) -> bool:
@@ -106,8 +114,22 @@ class InvariantMonitor:
         return self
 
     def stop(self) -> None:
-        """Stop periodic activity; safe to call more than once."""
+        """Stop periodic activity; safe to call more than once.
+
+        Streaks still open when the monitor stops are closed as explicit
+        ``unresolved_at_end`` spans rather than silently dropped — a
+        violation active at simulation end is the *most* interesting
+        kind, and downstream properties (the fuzzer's, chiefly) must not
+        miss it just because no later sample saw it disappear.
+        """
         self._task.stop()
+        now = self.sim.now
+        for key in list(self._active):
+            first = self._active.pop(key)
+            self._spans.append(ViolationSpan(
+                key=key, first_seen=first, last_seen=now,
+                stable=(now - first) >= self.stable_window,
+                unresolved_at_end=True))
 
     # ------------------------------------------------------------------
 
@@ -171,7 +193,8 @@ class InvariantMonitor:
         for key, first in self._active.items():
             spans.append(ViolationSpan(
                 key=key, first_seen=first, last_seen=now,
-                stable=(now - first) >= self.stable_window))
+                stable=(now - first) >= self.stable_window,
+                unresolved_at_end=True))
         return MonitorReport(
             samples=self._samples,
             spans=tuple(sorted(spans, key=lambda s: (s.first_seen, s.key))),

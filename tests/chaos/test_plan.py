@@ -10,8 +10,10 @@ from repro.chaos import (
     LinkChurnSpec,
     LinkOutageSpec,
     PartitionSpec,
+    PartitionWindowSpec,
     ServerOutageSpec,
 )
+from repro.scenarios.partitions import WindowSpec
 from repro.core import BroadcastSystem, ProtocolConfig
 from repro.net import wan_of_lans
 from repro.sim import Simulator
@@ -74,6 +76,76 @@ def test_plan_partition_spec():
     assert len(built.network.partitions()) == 2
     sim.run(until=7.0)
     assert len(built.network.partitions()) == 1
+
+
+def test_windowed_partition_spec_validation():
+    groups = (("s0", "h0.0"), ("s1", "h1.0"))
+    window = WindowSpec(period=5.0, width=1.0, first_open=2.0)
+    with pytest.raises(ValueError):
+        PartitionWindowSpec(groups[:1], window, until=10.0)  # one side
+    with pytest.raises(ValueError):
+        PartitionWindowSpec(groups, window, until=2.0)  # ends at first open
+    with pytest.raises(ValueError):  # must end before the heal horizon
+        ChaosSpec(heal_by=10.0, window_partitions=(
+            PartitionWindowSpec(groups, window, until=10.0),))
+
+
+def test_plan_windowed_partition_opens_and_heals():
+    sim, built, system = build_system(k=2, m=1, backbone="line")
+    spec = ChaosSpec(heal_by=20.0, window_partitions=(
+        PartitionWindowSpec(
+            groups=(("s0", "h0.0"), ("s1", "h1.0")),
+            window=WindowSpec(period=6.0, width=2.0, first_open=3.0),
+            until=15.0),))
+    ChaosPlan(sim, system, spec).start()
+    link = built.network.link("s0", "s1")
+    sim.run(until=1.0)
+    assert not link.up          # cut from the start until the first window
+    sim.run(until=3.5)
+    assert link.up              # first window [3, 5)
+    sim.run(until=5.5)
+    assert not link.up
+    sim.run(until=9.5)
+    assert link.up              # second window [9, 11)
+    sim.run(until=13.5)
+    assert not link.up
+    sim.run(until=16.0)
+    assert link.up              # force-healed past `until`
+
+
+def test_plan_composed_chaos_is_deterministic_per_seed():
+    # Window partitions and packet faults composed with churn: the
+    # whole plan's observable behaviour is a function of the seed.
+    def state_trace(seed):
+        sim, built, system = build_system(seed=seed, k=3, m=1,
+                                          backbone="line")
+        spec = ChaosSpec(
+            heal_by=30.0,
+            window_partitions=(PartitionWindowSpec(
+                groups=(("s0", "h0.0"), ("s1", "s2", "h1.0", "h2.0")),
+                window=WindowSpec(period=8.0, width=2.0, first_open=2.0),
+                until=26.0),),
+            host_churn=(HostChurnSpec(("h1.0", "h2.0"),
+                                      mean_up=5.0, mean_down=2.0),),
+        )
+        ChaosPlan(sim, system, spec).start()
+        samples = []
+        for t in range(1, 31):
+            sim.schedule_at(float(t), lambda: samples.append((
+                sim.now,
+                tuple(sorted(str(h) for h in system.crashed_hosts())),
+                tuple(sorted(str(name) for name, link
+                             in built.network.links.items()
+                             if not link.up)),
+            )))
+        sim.run(until=31.0)
+        return samples
+
+    first = state_trace(5)
+    assert any(down for _, _, down in first)     # partitions happened
+    assert any(crashed for _, crashed, _ in first)  # churn happened
+    assert first == state_trace(5)
+    assert first != state_trace(6)
 
 
 def test_plan_heals_churn_by_horizon():

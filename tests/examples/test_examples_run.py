@@ -56,6 +56,13 @@ def test_multi_source_eventlog(capsys):
     assert "piggybacking combined" in out
 
 
+def test_fuzz_and_replay(capsys):
+    out = run_example("fuzz_and_replay.py", capsys)
+    assert "no_eventual_delivery" in out
+    assert "reproduced exactly: True" in out
+    assert "tree protocol clean on all trials: True" in out
+
+
 def test_paper_figures(capsys):
     out = run_example("paper_figures.py", capsys)
     assert "8.0 link traversals/msg" in out

@@ -1,0 +1,78 @@
+"""Tests for JSON repro artifacts: roundtrip, byte-stability, replay."""
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    FuzzOptions,
+    ReproArtifact,
+    generate_trial,
+    load_artifact,
+    replay,
+    run_trial,
+    save_artifact,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.fuzz.artifact import artifact_from_dict
+
+from .test_properties import known_bad_spec
+
+
+def test_spec_json_roundtrip_many_seeds():
+    # Every generated spec survives dict -> JSON -> dict -> spec intact,
+    # including nested chaos events and windowed partitions.
+    for seed in range(40):
+        for options in (FuzzOptions(), FuzzOptions(protocol="basic")):
+            spec = generate_trial(seed, options)
+            blob = json.dumps(spec_to_dict(spec))
+            assert spec_from_dict(json.loads(blob)) == spec
+
+
+def make_artifact():
+    spec = known_bad_spec()
+    outcome = run_trial(spec)
+    return ReproArtifact(
+        spec=spec,
+        expected_classification=outcome.classification,
+        expected_signature=outcome.signature,
+        original_events=7,
+        shrink_evals=12,
+        note="test artifact")
+
+
+def test_artifact_file_roundtrip(tmp_path):
+    artifact = make_artifact()
+    path = save_artifact(artifact, str(tmp_path / "repro.json"))
+    assert load_artifact(path) == artifact
+
+
+def test_artifact_saves_are_byte_identical(tmp_path):
+    artifact = make_artifact()
+    first = save_artifact(artifact, str(tmp_path / "a.json"))
+    second = save_artifact(artifact, str(tmp_path / "b.json"))
+    with open(first, "rb") as a, open(second, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_artifact_rejects_unknown_schema():
+    with pytest.raises(ValueError):
+        artifact_from_dict({"schema": "repro.fuzz.artifact/v999"})
+
+
+def test_replay_reproduces_recorded_failure():
+    artifact = make_artifact()
+    outcome, reproduced = replay(artifact)
+    assert reproduced
+    assert outcome.classification == artifact.expected_classification
+    assert outcome.signature == artifact.expected_signature
+
+
+def test_replay_detects_signature_mismatch():
+    import dataclasses
+
+    artifact = dataclasses.replace(make_artifact(),
+                                   expected_signature="0" * 64)
+    _, reproduced = replay(artifact)
+    assert not reproduced

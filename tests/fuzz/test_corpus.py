@@ -1,0 +1,79 @@
+"""Tests for fuzz campaigns: determinism, parity, artifact output."""
+
+import json
+import os
+
+import pytest
+
+from repro.exec import make_executor
+from repro.fuzz import (
+    CLEAN,
+    NO_EVENTUAL_DELIVERY,
+    FuzzOptions,
+    load_artifact,
+    replay,
+    run_campaign,
+)
+
+JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+
+#: seed 7 over the basic protocol finds real failures within 2 trials
+BASIC = FuzzOptions(protocol="basic")
+
+
+def test_campaign_requires_trials():
+    with pytest.raises(ValueError):
+        run_campaign(trials=0, base_seed=1)
+
+
+def test_campaign_finds_and_shrinks_basic_failures(tmp_path):
+    summary = run_campaign(trials=2, base_seed=7, options=BASIC,
+                           artifact_dir=str(tmp_path))
+    assert summary.counts()[NO_EVENTUAL_DELIVERY] >= 1
+    for record in summary.failures:
+        assert record.shrunk_events is not None
+        assert record.shrink_ratio <= 0.25
+        assert record.artifact is not None
+        # The archived artifact replays to its recorded failure.
+        _, reproduced = replay(load_artifact(record.artifact))
+        assert reproduced
+
+
+def test_campaign_clean_on_tree_protocol():
+    summary = run_campaign(trials=3, base_seed=3, shrink=False)
+    assert summary.clean == 3
+    assert not summary.failures
+    assert summary.counts() == {CLEAN: 3}
+
+
+def test_campaign_serial_equals_parallel(tmp_path):
+    serial = run_campaign(trials=3, base_seed=7, options=BASIC,
+                          artifact_dir=str(tmp_path / "serial"))
+    parallel = run_campaign(trials=3, base_seed=7, options=BASIC,
+                            executor=make_executor(JOBS),
+                            artifact_dir=str(tmp_path / "parallel"))
+    for a, b in zip(serial.records, parallel.records):
+        assert (a.seed, a.classification, a.signature,
+                a.fault_events, a.shrunk_events) == \
+               (b.seed, b.classification, b.signature,
+                b.fault_events, b.shrunk_events)
+    # Artifact files are byte-identical across the two runs.
+    names = sorted(os.listdir(tmp_path / "serial"))
+    assert names == sorted(os.listdir(tmp_path / "parallel"))
+    for name in names:
+        with open(tmp_path / "serial" / name, "rb") as a, \
+                open(tmp_path / "parallel" / name, "rb") as b:
+            assert a.read() == b.read()
+
+
+def test_summary_render_and_dict(tmp_path):
+    summary = run_campaign(trials=2, base_seed=7, options=BASIC,
+                           artifact_dir=str(tmp_path))
+    text = summary.render()
+    assert "fuzz campaign: 2 trial(s), base seed 7" in text
+    assert "shrink ratio mean" in text
+    data = summary.as_dict()
+    json.dumps(data)  # JSON-serializable throughout
+    assert data["trials"] == 2
+    assert data["options"]["protocol"] == "basic"
+    assert len(data["records"]) == 2

@@ -1,0 +1,92 @@
+"""Tests for fault-schedule delta debugging."""
+
+import pytest
+
+from repro.fuzz import fault_event_count, fault_events, run_trial, shrink_trial
+from repro.fuzz.shrinker import _Budget, _ddmin, rebuild_chaos
+
+from .test_properties import known_bad_spec
+
+
+def test_ddmin_finds_minimal_failing_subset():
+    # The failure needs events 3 AND 7 together; everything else is noise.
+    events = [("host_outages", i) for i in range(10)]
+
+    def test_fn(subset):
+        values = {event for _, event in subset}
+        return {3, 7} <= values
+
+    result = _ddmin(events, test_fn, _Budget(200))
+    assert sorted(event for _, event in result) == [3, 7]
+
+
+def test_ddmin_tries_empty_first():
+    evals = []
+
+    def test_fn(subset):
+        evals.append(len(subset))
+        return True  # fails even with no chaos at all
+
+    result = _ddmin([("host_outages", 1), ("link_outages", 2)],
+                    test_fn, _Budget(10))
+    assert result == []
+    assert evals == [0]
+
+
+def test_ddmin_respects_budget():
+    events = [("host_outages", i) for i in range(8)]
+    budget = _Budget(3)
+    _ddmin(events, lambda subset: False, budget)
+    assert budget.evals <= 3
+
+
+def test_rebuild_chaos_roundtrips():
+    spec = known_bad_spec()
+    rebuilt = rebuild_chaos(spec.chaos, fault_events(spec.chaos))
+    assert rebuilt == spec.chaos
+
+
+def test_shrink_requires_a_failing_outcome():
+    spec = known_bad_spec()
+    outcome = run_trial(spec)
+    clean = outcome.__class__(
+        classification="clean", delivered_fraction=1.0, missing=(),
+        violations=(), signature=outcome.signature,
+        end_time=outcome.end_time)
+    with pytest.raises(ValueError):
+        shrink_trial(spec, clean)
+
+
+def test_shrink_known_bad_meets_the_bar():
+    spec = known_bad_spec()
+    outcome = run_trial(spec)
+    assert outcome.failed
+    result = shrink_trial(spec, outcome, max_evals=120)
+    # The acceptance bar: the minimal repro keeps at most a quarter of
+    # the original fault events, still reproducing the same class.
+    assert result.ratio <= 0.25, (
+        f"shrunk {result.original_events} -> {result.events} events")
+    assert result.outcome.classification == outcome.classification
+    assert result.evals <= 120
+    # The shrunk spec re-runs to the exact recorded outcome.
+    assert run_trial(result.spec) == result.outcome
+
+
+def test_shrink_is_deterministic():
+    spec = known_bad_spec()
+    outcome = run_trial(spec)
+    first = shrink_trial(spec, outcome, max_evals=120)
+    second = shrink_trial(spec, outcome, max_evals=120)
+    assert first.spec == second.spec
+    assert first.evals == second.evals
+
+
+def test_shrink_also_reduces_workload_and_topology():
+    spec = known_bad_spec()
+    result = shrink_trial(spec, run_trial(spec), max_evals=120)
+    assert result.spec.workload.n <= spec.workload.n
+    shrunk_hosts = (result.spec.topology.clusters
+                    * result.spec.topology.hosts_per_cluster)
+    original_hosts = spec.topology.clusters * spec.topology.hosts_per_cluster
+    assert shrunk_hosts <= original_hosts
+    assert result.spec.chaos.heal_by <= spec.chaos.heal_by

@@ -1,0 +1,102 @@
+"""Edge-case tests for the Section 6 brief-window partition schedule."""
+
+import pytest
+
+from repro.net import wan_of_lans
+from repro.scenarios.partitions import BriefWindowSchedule, WindowSpec
+from repro.sim import Simulator
+
+
+def build(seed=1):
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=2, hosts_per_cluster=1,
+                        backbone="line", convergence_delay=0.0)
+    return sim, built
+
+
+TRUNK = [("s0", "s1")]
+
+
+def test_window_spec_rejects_degenerate_windows():
+    with pytest.raises(ValueError):
+        WindowSpec(period=5.0, width=0.0)     # zero-length window
+    with pytest.raises(ValueError):
+        WindowSpec(period=5.0, width=-1.0)
+    with pytest.raises(ValueError):
+        WindowSpec(period=5.0, width=5.0)     # always-open is no window
+    with pytest.raises(ValueError):
+        WindowSpec(period=0.0, width=1.0)
+
+
+def test_schedule_rejects_horizon_before_first_window():
+    sim, built = build()
+    window = WindowSpec(period=5.0, width=1.0, first_open=8.0)
+    with pytest.raises(ValueError):
+        BriefWindowSchedule(sim, built, TRUNK, window, until=8.0)
+    with pytest.raises(ValueError):
+        BriefWindowSchedule(sim, built, TRUNK, window, until=3.0)
+
+
+def test_window_extending_past_horizon_is_clamped():
+    sim, built = build()
+    # One window [8, 13) would outlive until=10: clamp it to [8, 10).
+    window = WindowSpec(period=10.0, width=5.0, first_open=8.0)
+    schedule = BriefWindowSchedule(sim, built, TRUNK, window, until=10.0)
+    assert schedule.windows == [(8.0, 10.0)]
+    assert schedule.total_open_time == 2.0
+    link = built.network.link("s0", "s1")
+    sim.run(until=7.0)
+    assert not link.up
+    sim.run(until=9.0)
+    assert link.up
+    sim.run(until=10.5)
+    assert link.up  # the post-horizon heal keeps the trunk connected
+
+
+def test_immediate_first_window_skips_initial_cut():
+    sim, built = build()
+    window = WindowSpec(period=5.0, width=2.0, first_open=0.0)
+    schedule = BriefWindowSchedule(sim, built, TRUNK, window, until=12.0)
+    assert schedule.windows == [(0.0, 2.0), (5.0, 7.0), (10.0, 12.0)]
+    assert schedule.total_open_time == 6.0
+    link = built.network.link("s0", "s1")
+    sim.run(until=1.0)
+    assert link.up      # open from t=0: no initial down event
+    sim.run(until=3.0)
+    assert not link.up
+    sim.run(until=6.0)
+    assert link.up
+
+
+def test_back_to_back_windows_toggle_cleanly():
+    sim, built = build()
+    # Near-degenerate duty cycle: 1.999 s open out of every 2 s.
+    window = WindowSpec(period=2.0, width=1.999, first_open=2.0)
+    schedule = BriefWindowSchedule(sim, built, TRUNK, window, until=8.0)
+    assert len(schedule.windows) == 3
+    link = built.network.link("s0", "s1")
+    sim.run(until=1.0)
+    assert not link.up
+    sim.run(until=3.0)
+    assert link.up
+    # Probe just inside one of the 1 ms closures between windows.
+    sim.run(until=3.9995)
+    assert not link.up
+    sim.run(until=4.5)
+    assert link.up
+    sim.run(until=9.0)
+    assert link.up  # healed after the horizon
+
+
+def test_schedule_accepts_bare_network():
+    # ChaosPlan hands BriefWindowSchedule a Network, not a BuiltTopology.
+    sim, built = build()
+    window = WindowSpec(period=5.0, width=1.0, first_open=2.0)
+    schedule = BriefWindowSchedule(sim, built.network, TRUNK, window,
+                                   until=10.0)
+    link = built.network.link("s0", "s1")
+    sim.run(until=1.0)
+    assert not link.up
+    sim.run(until=2.5)
+    assert link.up
+    assert schedule.windows == [(2.0, 3.0), (7.0, 8.0)]

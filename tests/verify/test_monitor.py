@@ -83,6 +83,62 @@ def test_monitor_collects_recovery_times():
     assert report.clean
 
 
+def test_monitor_stop_closes_open_streak_as_unresolved():
+    sim, built, system = build_system()
+    child, parent = system.hosts[HostId("h0.1")], system.hosts[HostId("h0.0")]
+    child.parent = parent.me
+    monitor = InvariantMonitor(system, sample_period=1.0,
+                               stable_window=10.0).start()
+    child.info.add(5)  # violation appears and never resolves
+    sim.run(until=4.0)
+    monitor.stop()
+    report = monitor.report()
+    assert len(report.spans) == 1
+    span = report.spans[0]
+    assert span.key == ("info_dominance", "h0.1", "h0.0")
+    assert span.unresolved_at_end
+    assert not span.stable          # streak shorter than the window...
+    assert report.unresolved_violations == (span,)
+    assert report.clean             # ...so still transient, not stable
+    # stop() is idempotent: a second call adds no duplicate span.
+    monitor.stop()
+    assert len(monitor.report().spans) == 1
+
+
+def test_monitor_stop_marks_long_unresolved_streak_stable():
+    sim, built, system = build_system()
+    child, parent = system.hosts[HostId("h0.1")], system.hosts[HostId("h0.0")]
+    child.parent = parent.me
+    monitor = InvariantMonitor(system, sample_period=1.0,
+                               stable_window=5.0).start()
+    child.info.add(5)
+    sim.run(until=12.0)  # well past the stable window, never resolves
+    monitor.stop()
+    report = monitor.report()
+    assert len(report.spans) == 1
+    span = report.spans[0]
+    assert span.unresolved_at_end
+    assert span.stable
+    assert not report.clean
+
+
+def test_monitor_resolved_spans_are_not_unresolved():
+    sim, built, system = build_system()
+    child, parent = system.hosts[HostId("h0.1")], system.hosts[HostId("h0.0")]
+    child.parent = parent.me
+    monitor = InvariantMonitor(system, sample_period=1.0,
+                               stable_window=10.0).start()
+    child.info.add(5)
+    sim.run(until=3.0)
+    child.info.truncate_above(0)  # violation resolves mid-run
+    sim.run(until=6.0)
+    monitor.stop()
+    report = monitor.report()
+    assert len(report.spans) == 1
+    assert not report.spans[0].unresolved_at_end
+    assert report.unresolved_violations == ()
+
+
 def test_monitor_validates_parameters():
     sim, built, system = build_system()
     with pytest.raises(ValueError):

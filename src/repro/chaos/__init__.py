@@ -8,8 +8,14 @@ a :class:`ChaosPlan` orchestrator that composes all injector kinds from
 one declarative, seed-deterministic spec with a guaranteed heal-by
 horizon — after which every injected fault is provably repaired, so
 tests can assert the paper's eventual-delivery claim.
+
+:mod:`repro.chaos.adversary` goes past faults entirely: adversarial
+(Byzantine-ish) host personas that keep misbehaving *through* the heal
+horizon, against which the delivery claim is asserted over correct
+hosts only (see :mod:`repro.verify.containment`).
 """
 
+from .adversary import PERSONAS, AdversaryHarness, AdversarySpec
 from .hosts import HostCrashSchedule, HostFlapper
 from .packets import PacketChaos, PacketFaultSpec
 from .plan import (
@@ -25,8 +31,11 @@ from .plan import (
 )
 
 __all__ = [
+    "AdversaryHarness",
+    "AdversarySpec",
     "ChaosPlan",
     "ChaosSpec",
+    "PERSONAS",
     "HostChurnSpec",
     "HostCrashSchedule",
     "HostFlapper",

@@ -10,19 +10,26 @@ protocol must discover crashed peers through its own timeouts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..net import HostId
 from ..sim import Event, Simulator
+
+#: notification hook: called with the host id right after a crash is
+#: applied, so composing injectors (chiefly PacketChaos, via ChaosPlan)
+#: can cancel in-flight work targeting the now-dead host
+CrashHook = Optional[Callable[[HostId], None]]
 
 
 class HostCrashSchedule:
     """Scheduled host crashes and recoveries (chainable, like the link
     and server schedules in :mod:`repro.net.failures`)."""
 
-    def __init__(self, sim: Simulator, system) -> None:
+    def __init__(self, sim: Simulator, system,
+                 on_crash: CrashHook = None) -> None:
         self.sim = sim
         self.system = system
+        self._on_crash = on_crash
 
     def crash(self, time: float, host: HostId) -> "HostCrashSchedule":
         """Crash ``host`` at ``time`` (chainable)."""
@@ -45,6 +52,8 @@ class HostCrashSchedule:
             self.system.recover_host(host)
         else:
             self.system.crash_host(host)
+            if self._on_crash is not None:
+                self._on_crash(host)
         self.sim.trace.emit("failure.apply", "schedule", host=str(host), up=up)
         self.sim.metrics.counter(
             "net.failures.host.up" if up else "net.failures.host.down").inc()
@@ -68,11 +77,13 @@ class HostFlapper:
         mean_up: float = 30.0,
         mean_down: float = 5.0,
         rng_stream: str = "chaos.hostflapper",
+        on_crash: CrashHook = None,
     ) -> None:
         if mean_up <= 0 or mean_down <= 0:
             raise ValueError("mean_up and mean_down must be positive")
         self.sim = sim
         self.system = system
+        self._on_crash = on_crash
         if hosts is None:
             hosts = [h for h in system.built.hosts if h != system.source_id]
         self.hosts: List[HostId] = sorted(hosts)
@@ -125,6 +136,8 @@ class HostFlapper:
             return
         self._pending.pop(host, None)
         self.system.crash_host(host)
+        if self._on_crash is not None:
+            self._on_crash(host)
         self.sim.metrics.counter("net.failures.host.down").inc()
         self._arm(self.mean_down, self._recover, host)
 

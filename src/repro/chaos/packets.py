@@ -94,10 +94,12 @@ class PacketChaos:
         self._running = False
         #: dst host -> its matching rules, resolved once at start()
         self._rules: Dict[HostId, List[PacketFaultSpec]] = {}
-        self._tapped: List = []
-        #: pending scheduled injections; cancelled by stop() so the
-        #: heal-by guarantee covers in-flight chaos too
-        self._pending: Dict[Event, None] = {}
+        #: (port, our tap) pairs; stop() only removes taps we still own
+        #: (an adversary persona may have chained over them)
+        self._tapped: List[Tuple] = []
+        #: pending scheduled injections, keyed to the destination host so
+        #: stop() — and a mid-window crash of that host — can cancel them
+        self._pending: Dict[Event, HostId] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -113,8 +115,9 @@ class PacketChaos:
                 continue
             self._rules[host_id] = rules
             port = self.network.host_port(host_id)
-            port.tap = self._make_tap(port)
-            self._tapped.append(port)
+            tap = self._make_tap(port)
+            port.tap = tap
+            self._tapped.append((port, tap))
         self.sim.trace.emit("chaos.packets.start", "packet_chaos",
                             tapped=len(self._tapped))
         return self
@@ -122,13 +125,35 @@ class PacketChaos:
     def stop(self) -> None:
         """Remove all taps and cancel every pending injection."""
         self._running = False
-        for port in self._tapped:
-            port.tap = None
+        for port, tap in self._tapped:
+            if port.tap is tap:
+                port.tap = None
         self._tapped.clear()
         for event in self._pending:
             self.sim.try_cancel(event)
         self._pending.clear()
         self.sim.trace.emit("chaos.packets.stop", "packet_chaos")
+
+    def cancel_pending_for(self, host_id: HostId) -> None:
+        """Cancel pending injections destined for ``host_id``.
+
+        A host that crashes mid-window must not have chaos-made
+        duplicates, replays, or delayed copies still arriving on its
+        port: a real crashed host drops them anyway, and a host that
+        *recovers* before the injection fires would otherwise receive
+        packets from a network interaction that predates its crash —
+        exactly the stale state the crash is supposed to destroy.
+        """
+        stale = [event for event, dst in self._pending.items()
+                 if dst == host_id]
+        for event in stale:
+            self.sim.try_cancel(event)
+            del self._pending[event]
+        if stale:
+            self.sim.metrics.counter(
+                "chaos.packet.cancelled_crashed").inc(len(stale))
+            self.sim.trace.emit("chaos.packets.cancel_crashed",
+                                str(host_id), cancelled=len(stale))
 
     # -- injection ---------------------------------------------------------
 
@@ -190,11 +215,12 @@ class PacketChaos:
         return False  # duplicates/replays ride along; original proceeds
 
     def _later(self, port, pkt: Packet, delay: float) -> None:
-        """Schedule a tap-bypassing injection, tracked for stop()."""
+        """Schedule a tap-bypassing injection, tracked (per destination
+        host) for stop() and :meth:`cancel_pending_for`."""
 
         def fire() -> None:
             self._pending.pop(event, None)
             port.inject(pkt)
 
         event = self.sim.schedule(delay, fire)
-        self._pending[event] = None
+        self._pending[event] = port.host_id

@@ -32,6 +32,7 @@ from ..net import (
 )
 from ..scenarios.partitions import BriefWindowSchedule, WindowSpec
 from ..sim import Simulator
+from .adversary import AdversaryHarness, AdversarySpec
 from .hosts import HostCrashSchedule, HostFlapper
 from .packets import PacketChaos, PacketFaultSpec
 
@@ -129,6 +130,12 @@ class ChaosSpec:
     #: ``end`` is clamped to ``heal_by``, and the injector is stopped —
     #: pending injections cancelled — when the horizon arrives
     packet_faults: Tuple[PacketFaultSpec, ...] = ()
+    #: adversarial (Byzantine-ish) host personas.  Deliberately EXEMPT
+    #: from the heal-by validation: a misbehaving host is not a fault
+    #: the network heals, so the heal-by guarantee covers benign faults
+    #: only and reliability verdicts under adversaries are taken over
+    #: the correct hosts (see :mod:`repro.chaos.adversary`)
+    adversaries: Tuple[AdversarySpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.heal_by <= 0:
@@ -169,6 +176,7 @@ class ChaosPlan:
         self._host_flappers: List[HostFlapper] = []
         self._link_flappers: List[LinkFlapper] = []
         self._packet_chaos: List[PacketChaos] = []
+        self._adversaries: List[AdversaryHarness] = []
         #: links any churner may leave down at the horizon
         self._churned_links: List[Tuple[str, str]] = []
 
@@ -176,7 +184,8 @@ class ChaosPlan:
         """Install every injector and schedule the heal; returns self."""
         spec = self.spec
         if spec.host_outages:
-            hosts = HostCrashSchedule(self.sim, self.system)
+            hosts = HostCrashSchedule(self.sim, self.system,
+                                      on_crash=self._on_host_crash)
             for outage in spec.host_outages:
                 hosts.outage(outage.start, outage.end, HostId(outage.host))
         if spec.link_outages:
@@ -204,7 +213,8 @@ class ChaosPlan:
                 self.sim, self.system,
                 hosts=[HostId(h) for h in churn.hosts],
                 mean_up=churn.mean_up, mean_down=churn.mean_down,
-                rng_stream=f"{self._rng_prefix}.hosts.{idx}").start())
+                rng_stream=f"{self._rng_prefix}.hosts.{idx}",
+                on_crash=self._on_host_crash).start())
         for idx, churn in enumerate(spec.link_churn):
             self._link_flappers.append(LinkFlapper(
                 self.sim, self.network, churn.links,
@@ -217,12 +227,34 @@ class ChaosPlan:
             self._packet_chaos.append(PacketChaos(
                 self.sim, self.network, clamped,
                 rng_stream=f"{self._rng_prefix}.packets").start())
+        if spec.adversaries:
+            # Installed after PacketChaos so persona taps chain over the
+            # packet-fault taps (the persona delegates what it does not
+            # consume); NOT stopped at heal — Byzantine hosts persist.
+            self._adversaries.append(AdversaryHarness(
+                self.sim, self.system, spec.adversaries,
+                rng_stream=f"{self._rng_prefix}.adversary").start())
         self.sim.schedule_at(self.spec.heal_by, self._heal)
         self.sim.trace.emit("chaos.start", "plan", heal_by=self.spec.heal_by)
         return self
 
+    def adversary_hosts(self) -> frozenset:
+        """Names of hosts the spec makes misbehave at any point."""
+        return frozenset(spec.host for spec in self.spec.adversaries)
+
+    def _on_host_crash(self, host: HostId) -> None:
+        """A plan-managed host crashed: chaos-made packets already in
+        flight toward it must die with it, like every other pending
+        injection a stopped injector cancels."""
+        for chaos in self._packet_chaos:
+            chaos.cancel_pending_for(host)
+
     def _heal(self) -> None:
-        """The heal-by guarantee: stop churners, repair everything."""
+        """The heal-by guarantee: stop churners, repair everything.
+
+        Adversary personas are deliberately *not* healed: they are not
+        faults, and their windows are allowed to outlive the horizon
+        (see :class:`~repro.chaos.adversary.AdversarySpec`)."""
         for flapper in self._host_flappers:
             flapper.heal()
         for flapper in self._link_flappers:

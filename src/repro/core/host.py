@@ -325,11 +325,23 @@ class BroadcastHost:
         payload = packet.payload
         # Wire hardening: a payload whose checksum does not validate is
         # dropped before it touches *any* protocol state — a corrupted
-        # message may not even be from who it claims to be from.
+        # message may not even be from who it claims to be from.  The
+        # drop is attributed by uid: a uid this host already accepted
+        # from the same sender means a mangled retransmission of known
+        # traffic (dup_uid); an unknown or absent uid means first-contact
+        # bit rot or an outright fabrication (forged_uid).  The
+        # unsuffixed counter stays as the aggregate.
         if not checksum_ok(payload):
+            corrupt_uid = getattr(payload, "uid", None)
+            known = (corrupt_uid is not None
+                     and (sender, corrupt_uid) in self._seen_control)
             self.sim.trace.emit("host.drop_corrupt", str(self.me),
-                                src=str(sender), payload_kind=packet.kind)
+                                src=str(sender), payload_kind=packet.kind,
+                                known_uid=known)
             self.sim.metrics.counter("proto.wire.corrupt_dropped").inc()
+            self.sim.metrics.counter(
+                "proto.wire.corrupt_dropped.dup_uid" if known
+                else "proto.wire.corrupt_dropped.forged_uid").inc()
             self._congestion.note_bad(self.sim.now)
             return
         # Duplicate-control suppression: link-level duplicates and

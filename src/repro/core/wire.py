@@ -35,6 +35,16 @@ link-level duplicates and chaos-injected replays share the original's
 ``uid`` (packet forks share the payload object), which is what the
 host's duplicate-control suppression keys on.  :func:`corrupted_copy`
 is the injection helper chaos uses to flip a payload's checksum.
+
+Receivers attribute control-plane drops in two dimensions: corrupt
+payloads (checksum mismatch) split into ``dup_uid`` (a uid the receiver
+has already accepted from that sender — a mangled retransmission) and
+``forged_uid`` (a uid never seen before — bit rot on first contact, or
+a fabricated message); the legacy aggregate counters keep their names.
+Checksums only catch *accidents*: a misbehaving host constructs
+payloads whose checksums validate perfectly, which is what
+:func:`forged_copy` models for the adversary personas in
+:mod:`repro.chaos.adversary`.
 """
 
 from __future__ import annotations
@@ -121,6 +131,23 @@ def corrupted_copy(payload: object) -> Optional[object]:
     if getattr(payload, "checksum", None) is None:
         return None
     return replace(payload, checksum=payload.checksum ^ 0x5A5A5A5A)  # type: ignore[arg-type]
+
+
+def forged_copy(payload: object, **overrides: object) -> object:
+    """A copy of ``payload`` with fields overridden and a *valid*
+    checksum recomputed over the forged contents.
+
+    This is the adversary-persona helper (:mod:`repro.chaos.adversary`):
+    wire checksums detect accidental corruption, not malice — a
+    misbehaving host constructs internally consistent payloads that
+    pass every receive-side validity check.  The copy keeps the
+    original ``uid`` unless the caller overrides it (``uid=0`` draws a
+    fresh one), so forgeries interact with duplicate-control
+    suppression exactly like honest traffic.
+    """
+    if getattr(payload, "checksum", None) is not None:
+        overrides.setdefault("checksum", _AUTO)
+    return replace(payload, **overrides)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,7 @@ from .runners import (
     run_e21_adversarial_timing,
     run_e22_parallel_speedup,
     run_e23_fuzz_campaign,
+    run_e24_adversary_containment,
 )
 from .sweep import grid, sweep
 from .workload import bursty_stream, constant_rate_stream, poisson_stream
@@ -74,4 +75,5 @@ __all__ = [
     "run_e21_adversarial_timing",
     "run_e22_parallel_speedup",
     "run_e23_fuzz_campaign",
+    "run_e24_adversary_containment",
 ]

@@ -47,6 +47,7 @@ from .runners import (
     run_e21_adversarial_timing,
     run_e22_parallel_speedup,
     run_e23_fuzz_campaign,
+    run_e24_adversary_containment,
 )
 
 RunnerFn = Callable[..., ExperimentResult]
@@ -183,6 +184,7 @@ for _exp_id, _runner in (
     ("E21", run_e21_adversarial_timing),
     ("E22", run_e22_parallel_speedup),
     ("E23", run_e23_fuzz_campaign),
+    ("E24", run_e24_adversary_containment),
 ):
     register(_exp_id, _runner)
 

@@ -1371,6 +1371,176 @@ def run_e23_fuzz_campaign(seed: int = 7, trials: int = 10,
     return result
 
 
+def _e24_placements(seed: int, clusters: int, hosts_per_cluster: int
+                    ) -> Tuple[List[str], List[str]]:
+    """Seed-matched adversary slots: (interior hosts, leaf hosts).
+
+    Derived from the tree the paper's protocol actually forms under
+    this seed with no faults: *interior* hosts are non-source hosts
+    that serve as somebody's parent (they forward data, so their
+    misbehavior sits on a live branch), *leaves* forward nothing.  The
+    same slots are reused for every protocol, so the sweep compares
+    protocols under identical adversary placement.
+    """
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=clusters,
+                        hosts_per_cluster=hosts_per_cluster,
+                        backbone="line")
+    system = BroadcastSystem(
+        built, config=_tree_config(clusters * hosts_per_cluster)).start()
+    run_to_quiescence(system)
+    parents = {str(p) for p in system.parent_edges().values()
+               if p is not None}
+    source = str(system.source_id)
+    hosts = sorted(str(h) for h in built.hosts if str(h) != source)
+    interior = [h for h in hosts if h in parents]
+    leaves = [h for h in hosts if h not in parents]
+    return interior, leaves
+
+
+def _e24_slots(placement: str, k: int, interior: List[str],
+               leaves: List[str]) -> Tuple[str, ...]:
+    """The first ``k`` adversary hosts for a placement, deterministically
+    (filled from the other pool when one runs short)."""
+    pool = (interior + leaves) if placement == "interior" else (
+        leaves + interior)
+    return tuple(sorted(pool[:k]))
+
+
+def _e24_point(protocol: str, seed: int, clusters: int,
+               hosts_per_cluster: int, n: int, interval: float,
+               persona: str, placement: str,
+               adversary_hosts: Tuple[str, ...],
+               start_at: float, horizon: float) -> Dict[str, Any]:
+    """One E24 grid point: one protocol under one adversary deployment."""
+    from ..chaos import AdversarySpec, ChaosPlan, ChaosSpec
+    from ..verify import (InvariantMonitor, classify_containment,
+                          classify_spans, worst_status)
+
+    n_hosts = clusters * hosts_per_cluster
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=clusters,
+                        hosts_per_cluster=hosts_per_cluster,
+                        backbone="line")
+    monitor = None
+    if protocol == "tree":
+        system: Any = BroadcastSystem(
+            built, config=_tree_config(n_hosts)).start()
+        monitor = InvariantMonitor(system, sample_period=1.0,
+                                   stable_window=20.0).start()
+    elif protocol == "basic":
+        system = BasicBroadcastSystem(built, config=_basic_config()).start()
+    else:
+        system = EpidemicBroadcastSystem(built).start()
+    if adversary_hosts:
+        ChaosPlan(sim, system, ChaosSpec(
+            heal_by=start_at + 1.0,
+            adversaries=tuple(AdversarySpec(host=h, persona=persona,
+                                            start=start_at)
+                              for h in adversary_hosts))).start()
+    correct = [h for h in built.hosts if str(h) not in set(adversary_hosts)]
+    system.broadcast_stream(n, interval=interval, start_at=2.0)
+    correct_ok = system.run_until_delivered(
+        n, timeout=horizon, hosts=correct if adversary_hosts else None)
+
+    containment: Any = "-"
+    contained = broken = 0
+    if monitor is not None:
+        # settle one stable window so end-of-run streaks are judged
+        sim.run(until=sim.now + 21.0)
+        monitor.stop()
+        results = (classify_spans(monitor.report().spans, adversary_hosts)
+                   + classify_containment(system, adversary_hosts))
+        containment = worst_status(results)
+        adv = set(adversary_hosts)
+        for result in results:
+            for hosts in result.violations:
+                if any(h in adv for h in hosts):
+                    contained += 1
+                else:
+                    broken += 1
+
+    delivered_pairs = sum(
+        1 for host in correct for seq in range(1, n + 1)
+        if seq in system.hosts[host].deliveries)
+    return dict(
+        protocol=protocol, k=len(adversary_hosts),
+        persona=persona if adversary_hosts else "-",
+        placement=placement if adversary_hosts else "-",
+        adversaries=",".join(adversary_hosts) or "-",
+        correct_delivered=delivered_pairs / (len(correct) * n),
+        correct_ok=correct_ok, containment=containment,
+        contained=contained if monitor is not None else "-",
+        broken=broken if monitor is not None else "-")
+
+
+def run_e24_adversary_containment(
+        seed: int = 24, clusters: int = 3, hosts_per_cluster: int = 2,
+        n: int = 12, interval: float = 1.0, ks: Sequence[int] = (0, 1, 2),
+        personas: Optional[Sequence[str]] = None,
+        start_at: float = 4.0, horizon: float = 120.0,
+        executor: Optional[Executor] = None) -> ExperimentResult:
+    """E24: invariant containment under k misbehaving hosts.
+
+    Seed-matched sweep of tree vs basic vs epidemic under ``k`` in
+    ``ks`` adversarial hosts running each persona
+    (:data:`repro.chaos.PERSONAS`), placed either *interior* (hosts the
+    fault-free tree uses as parents — their lies sit on a live
+    forwarding branch) or at *leaves* (structurally harmless seats).
+    Personas activate at ``start_at`` and never heal; correctness is
+    measured over the correct hosts only.  ``containment`` classifies
+    every observed §4.3 invariant violation (tree only): damage that
+    stopped at the adversary set reads ``holds_correct_only``,
+    violations among correct hosts read ``broken``.  The headline
+    asymmetry: placement, not count, decides the outcome — in the
+    default two-host-cluster topology the cluster leader is a cut
+    vertex, so an interior data black hole starves its correct subtree
+    (``correct_ok`` False with every structural invariant still
+    ``holds_globally``: the damage is purely data-plane), while the
+    same persona at a leaf — or any persona against the source-direct
+    basic algorithm or the redundant epidemic baseline — hurts nobody
+    but itself.
+    """
+    from ..chaos import PERSONAS
+
+    chosen = tuple(personas) if personas is not None else PERSONAS
+    interior, leaves = _e24_placements(seed, clusters, hosts_per_cluster)
+    result = ExperimentResult(
+        "E24", "Adversarial hosts: correct-host delivery and containment",
+        ["protocol", "k", "persona", "placement", "adversaries",
+         "correct_delivered", "correct_ok", "containment", "contained",
+         "broken"])
+    items = []
+    for protocol in ("tree", "basic", "epidemic"):
+        for k in ks:
+            if k == 0:
+                grid: List[Tuple[str, str]] = [("-", "-")]
+            else:
+                grid = [(persona, placement) for persona in chosen
+                        for placement in ("interior", "leaf")]
+            for persona, placement in grid:
+                hosts = (_e24_slots(placement, k, interior, leaves)
+                         if k else ())
+                items.append(WorkItem(
+                    key=("E24", protocol, k, persona, placement),
+                    fn=_e24_point,
+                    kwargs=dict(protocol=protocol, seed=seed,
+                                clusters=clusters,
+                                hosts_per_cluster=hosts_per_cluster,
+                                n=n, interval=interval, persona=persona,
+                                placement=placement, adversary_hosts=hosts,
+                                start_at=start_at, horizon=horizon)))
+    for row in _map_items(executor, items):
+        result.add_row(**row)
+    result.note("adversary slots are derived from the fault-free tree "
+                f"(interior: {','.join(interior) or '-'}; leaves: "
+                f"{','.join(leaves) or '-'}) and shared across protocols; "
+                "personas never heal, so verdicts cover correct hosts only "
+                "and 'containment' is worst-case over all monitored "
+                "invariants (tree protocol only)")
+    return result
+
+
 def __getattr__(name: str):  # PEP 562 back-compat shim
     """``runners.ALL_RUNNERS`` now lives in :mod:`repro.experiments.registry`.
 

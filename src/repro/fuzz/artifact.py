@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Tuple
 
 from ..chaos import (
+    AdversarySpec,
     ChaosSpec,
     HostChurnSpec,
     HostOutageSpec,
@@ -47,6 +48,10 @@ _CHAOS_EVENT_TYPES: Dict[str, type] = {
     "host_churn": HostChurnSpec,
     "link_churn": LinkChurnSpec,
     "packet_faults": PacketFaultSpec,
+    # NOTE: AdversarySpec windows default to end=Infinity; that is
+    # round-trip-safe because json emits and parses the IEEE Infinity
+    # literal (the same convention PacketFaultSpec's open end uses).
+    "adversaries": AdversarySpec,
 }
 
 

@@ -49,6 +49,13 @@ def add_fuzz_args(parser: argparse.ArgumentParser) -> None:
                             "control plane (default 0.5)")
     run_p.add_argument("--max-events", type=int, default=14, metavar="N",
                        help="max fault events per trial (default 14)")
+    run_p.add_argument("--adversaries", type=int, default=0, metavar="K",
+                       help="up to K adversarial host personas per trial "
+                            "(default 0: no misbehaving hosts; verdicts "
+                            "with adversaries cover correct hosts only)")
+    run_p.add_argument("--personas", default=None, metavar="P1,P2",
+                       help="comma-separated persona subset to draw from "
+                            "(default: all personas)")
     run_p.add_argument("--horizon", type=float, default=300.0, metavar="S",
                        help="eventual-delivery deadline in simulated "
                             "seconds (default 300)")
@@ -75,12 +82,18 @@ def add_fuzz_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _run(args: argparse.Namespace) -> int:
+    extra = {}
+    if args.personas is not None:
+        extra["personas"] = tuple(
+            p.strip() for p in args.personas.split(",") if p.strip())
     options = FuzzOptions(
         protocol=args.protocol,
         adaptive_frac=args.adaptive_frac,
         max_fault_events=max(args.max_events, 1),
         min_fault_events=min(6, max(args.max_events, 1)),
         horizon=args.horizon,
+        max_adversaries=max(args.adversaries, 0),
+        **extra,
     )
     jobs = max(1, args.jobs)
     executor = make_executor(jobs) if jobs > 1 else None

@@ -99,6 +99,7 @@ class CampaignSummary:
                 "protocol": self.options.protocol,
                 "adaptive_frac": self.options.adaptive_frac,
                 "horizon": self.options.horizon,
+                "max_adversaries": self.options.max_adversaries,
             },
             "counts": self.counts(),
             "records": [{

@@ -22,16 +22,23 @@ always agree.
 All injected faults respect the :class:`ChaosSpec` heal-by guarantee by
 construction: every window ends before the horizon, so a trial that
 never delivers its stream *after* healing is a genuine liveness
-failure, not an artifact of a still-broken network.
+failure, not an artifact of a still-broken network.  Adversarial host
+personas (``FuzzOptions.max_adversaries > 0``) are the deliberate
+exception — a Byzantine host stays Byzantine through the heal — so
+trials with adversaries take their delivery verdict over the *correct*
+hosts only (:mod:`repro.fuzz.properties`).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from ..chaos import (
+    PERSONAS,
+    AdversarySpec,
     ChaosSpec,
     HostChurnSpec,
     HostOutageSpec,
@@ -83,6 +90,14 @@ class FuzzOptions:
     max_fault_events: int = 14
     #: eventual-delivery deadline, measured from t=0 (well past heal-by)
     horizon: float = 300.0
+    #: up to this many adversarial host personas per trial (0, the
+    #: default, draws nothing and generates byte-identically to builds
+    #: without the adversary model; adversary draws always come *after*
+    #: every other draw, so enabling them never perturbs the rest of a
+    #: trial)
+    max_adversaries: int = 0
+    #: personas adversaries are drawn from
+    personas: Tuple[str, ...] = PERSONAS
 
     def __post_init__(self) -> None:
         if self.protocol not in ("tree", "basic"):
@@ -95,6 +110,11 @@ class FuzzOptions:
             raise ValueError("need 1 <= min_fault_events <= max_fault_events")
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
+        if self.max_adversaries < 0:
+            raise ValueError("max_adversaries must be >= 0")
+        for persona in self.personas:
+            if persona not in PERSONAS:
+                raise ValueError(f"unknown persona {persona!r}")
 
 
 @dataclass(frozen=True)
@@ -289,11 +309,29 @@ def generate_trial(trial_seed: int,
     )
     adaptive = (options.protocol == "tree"
                 and rng.random() < options.adaptive_frac)
+    crash_stable_lag = rng.randint(0, 2)
+    # Adversary draws come LAST, gated on the option: with the default
+    # max_adversaries=0 this branch consumes no randomness, so existing
+    # campaigns generate byte-identical trials.
+    if options.max_adversaries > 0:
+        k = rng.randint(0, min(options.max_adversaries, len(names.victims)))
+        adversaries = []
+        for host in sorted(rng.sample(names.victims, k)):
+            adversaries.append(AdversarySpec(
+                host=host,
+                persona=rng.choice(options.personas),
+                start=round(rng.uniform(0.0, heal_by * 0.5), 3),
+                lie_ahead=rng.randint(1, 5),
+                drop_frac=round(rng.uniform(0.5, 1.0), 3),
+                replay_interval=round(rng.uniform(2.0, 8.0), 3)))
+        if adversaries:
+            chaos = dataclasses.replace(chaos,
+                                        adversaries=tuple(adversaries))
     return TrialSpec(
         seed=trial_seed,
         protocol=options.protocol,
         adaptive=adaptive,
-        crash_stable_lag=rng.randint(0, 2),
+        crash_stable_lag=crash_stable_lag,
         topology=topology,
         workload=workload,
         chaos=chaos,

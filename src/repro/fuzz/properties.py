@@ -17,11 +17,21 @@ classes, checked in severity order:
   liveness claim failed;
 * ``clean`` — everything delivered, no stable violation.
 
+When the trial's chaos includes adversarial host personas
+(``ChaosSpec.adversaries``), the verdict is taken over the **correct
+hosts only**: an adversary that refuses to deliver to *itself* is not
+a protocol failure, but a correct host that misses messages — or a
+stable violation among correct hosts — is.  Stable violations that
+involve the adversary hosts are reported separately as *contained*
+(:mod:`repro.verify.containment`): real damage, but damage that
+stopped at the misbehaving hosts.
+
 Every outcome carries a **delivery signature**: a SHA-256 digest over
 the canonical JSON of every host's delivery records (sequence, time,
-supplier, gap-fill flag).  Two runs of the same spec must produce the
-same signature byte-for-byte — that is the replay guarantee repro
-artifacts (and the serial == parallel parity tests) assert.
+supplier, gap-fill flag) — adversaries included, since replay must be
+byte-exact.  Two runs of the same spec must produce the same signature
+byte-for-byte — that is the replay guarantee repro artifacts (and the
+serial == parallel parity tests) assert.
 """
 
 from __future__ import annotations
@@ -34,7 +44,7 @@ from typing import List, Tuple
 from ..baseline import BasicBroadcastSystem, BasicConfig
 from ..chaos import ChaosPlan
 from ..core import BroadcastSystem, ProtocolConfig
-from ..verify import InvariantMonitor
+from ..verify import InvariantMonitor, span_hosts
 from .generator import FUZZ_DATA_BITS, TrialSpec, build_topology
 
 CLEAN = "clean"
@@ -62,6 +72,11 @@ class TrialOutcome:
     #: SHA-256 over canonical per-host delivery records
     signature: str
     end_time: float
+    #: hosts that ran adversary personas (verdict excludes them)
+    adversaries: Tuple[str, ...] = ()
+    #: stable violations whose hosts include an adversary — contained
+    #: damage, reported but not classified as a protocol failure
+    contained_violations: Tuple[str, ...] = ()
 
     @property
     def failed(self) -> bool:
@@ -107,13 +122,18 @@ def run_trial(spec: TrialSpec) -> TrialOutcome:
         monitor = InvariantMonitor(system, sample_period=1.0,
                                    stable_window=spec.stable_window).start()
     ChaosPlan(sim, system, spec.chaos).start()
+    adversaries = frozenset(a.host for a in spec.chaos.adversaries)
+    correct = [h for h in built.hosts if str(h) not in adversaries]
     n = spec.workload.n
     system.broadcast_stream(n, interval=spec.workload.interval,
                             start_at=spec.workload.start_at)
     sim.run(until=spec.chaos.heal_by + 1.0)  # chaos window plays out fully
-    delivered_all = system.run_until_delivered(n, timeout=spec.horizon)
+    delivered_all = system.run_until_delivered(
+        n, timeout=spec.horizon,
+        hosts=correct if adversaries else None)
 
     violations: Tuple[str, ...] = ()
+    contained: Tuple[str, ...] = ()
     if monitor is not None:
         # Settle past one full stable window before the verdict: any
         # violation active right now either resolves (transient, fine)
@@ -123,19 +143,27 @@ def run_trial(spec: TrialSpec) -> TrialOutcome:
         sim.run(until=sim.now + spec.stable_window + 1.0)
         monitor.stop()
         report = monitor.report()
+        stable = set(report.stable_violations)
+        # A stable violation that involves an adversary host is damage
+        # the misbehavior *contained*: report it, but only violations
+        # entirely among correct hosts fail the trial.
         violations = tuple(sorted(
-            "/".join(span.key) for span in set(report.stable_violations)))
+            "/".join(span.key) for span in stable
+            if not any(h in adversaries for h in span_hosts(span))))
+        contained = tuple(sorted(
+            "/".join(span.key) for span in stable
+            if any(h in adversaries for h in span_hosts(span))))
 
     missing: List[Tuple[str, int]] = []
     delivered_pairs = 0
-    for host_id in built.hosts:
+    for host_id in correct:
         info_deliveries = system.hosts[host_id].deliveries
         for seq in range(1, n + 1):
             if seq in info_deliveries:
                 delivered_pairs += 1
             else:
                 missing.append((str(host_id), seq))
-    total_pairs = len(built.hosts) * n
+    total_pairs = len(correct) * n
 
     if violations:
         classification = STABLE_VIOLATION
@@ -151,4 +179,6 @@ def run_trial(spec: TrialSpec) -> TrialOutcome:
         violations=violations,
         signature=delivery_signature(system),
         end_time=round(sim.now, 9),
+        adversaries=tuple(sorted(adversaries)),
+        contained_violations=contained,
     )

@@ -7,10 +7,13 @@ accepted only when re-running it reproduces the original failure class
 (``stable_violation`` or ``no_eventual_delivery``).  Passes, in order:
 
 1. **ddmin over fault events** — the flattened fault-event list (every
-   outage, partition, packet rule, and churn entry across all eight
-   ``ChaosSpec`` fields) is reduced with classic delta debugging,
-   including the try-zero-events probe that exposes chaos-independent
-   bugs.
+   outage, partition, packet rule, churn entry, and adversary persona
+   across all nine ``ChaosSpec`` fields) is reduced with classic delta
+   debugging, including the try-zero-events probe that exposes
+   chaos-independent bugs.  Adversary-caused failures thereby shrink to
+   the minimal adversary event sequence: benign faults that merely rode
+   along are deleted first, leaving the persona schedule that actually
+   breaks the invariant.
 2. **Window shortening** — surviving outage/partition/packet windows
    are repeatedly halved while the failure persists.
 3. **Workload shrinking** — the stream length is halved toward 1.
@@ -44,6 +47,7 @@ from .properties import TrialOutcome, run_trial
 EVENT_FIELDS: Tuple[str, ...] = (
     "host_outages", "link_outages", "server_outages", "partitions",
     "window_partitions", "host_churn", "link_churn", "packet_faults",
+    "adversaries",
 )
 
 #: one flattened fault event: (chaos field name, event value)
@@ -187,6 +191,9 @@ def _valid_events(events: List[Event], topology: TopologySpec,
             if churned:
                 kept.append((field_name,
                              dataclasses.replace(event, links=churned)))
+        elif field_name == "adversaries":
+            if event.host in names.victims:
+                kept.append((field_name, event))
         else:  # packet_faults
             if ((event.dst == "*" or event.dst in names.victims
                  or event.dst == names.source)

@@ -26,6 +26,11 @@ ReceiveFn = Callable[[Packet], None]
 #: later re-injection via :meth:`HostPort.inject`).
 TapFn = Callable[[Packet], bool]
 
+#: A send tap: sees each outbound (dst, payload) pair *before*
+#: packetisation and send accounting; returning True consumes the send
+#: (the tap is responsible for any substitute via :meth:`HostPort.send_raw`).
+SendTapFn = Callable[[HostId, Payload], bool]
+
 
 class HostPort:
     """A host's attachment point: one access link to one server."""
@@ -46,6 +51,8 @@ class HostPort:
         self._on_receive: Optional[ReceiveFn] = None
         #: optional inbound tap (chaos injection hook); see :data:`TapFn`
         self.tap: Optional[TapFn] = None
+        #: optional outbound tap (adversary persona hook); see :data:`SendTapFn`
+        self.send_tap: Optional[SendTapFn] = None
         self._name = str(host_id)
         # Hot-path metric handles (see DESIGN.md), created lazily so an
         # idle port registers nothing.
@@ -72,9 +79,26 @@ class HostPort:
 
         This is fire-and-forget: the network gives no delivery feedback
         of any kind.  Sending to oneself is a programming error.
+
+        If a send tap is installed it sees the (dst, payload) pair
+        first; a tap that returns True has consumed the send (dropped,
+        mutated, redirected...) and re-enters whatever it actually wants
+        on the wire through :meth:`send_raw`.
         """
         if dst == self.host_id:
             raise ValueError(f"host {self.host_id} cannot send to itself")
+        send_tap = self.send_tap
+        if send_tap is not None and send_tap(dst, payload):
+            return
+        self.send_raw(dst, payload)
+
+    def send_raw(self, dst: HostId, payload: Payload) -> None:
+        """Packetise and transmit, bypassing the send tap.
+
+        This is the send tap's re-entry point (and does all the send
+        accounting), so a persona's substituted messages cannot recurse
+        into the tap that produced them.
+        """
         packet = Packet(src=self.host_id, dst=dst, payload=payload,
                         sent_at=self.sim.now,
                         stamped_at=self.network.local_time(self.host_id))

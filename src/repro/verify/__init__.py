@@ -1,5 +1,13 @@
-"""Verification oracles: invariants and convergence driving."""
+"""Verification oracles: invariants, containment, convergence driving."""
 
+from .containment import (
+    CONTAINMENT_STATUSES,
+    InvariantContainment,
+    classify_containment,
+    classify_spans,
+    span_hosts,
+    worst_status,
+)
 from .invariants import (
     check_all,
     check_children_consistency,
@@ -16,7 +24,13 @@ from .monitor import InvariantMonitor, MonitorReport, ViolationSpan
 from .oracle import run_to_quiescence
 
 __all__ = [
+    "CONTAINMENT_STATUSES",
+    "InvariantContainment",
     "check_all",
+    "classify_containment",
+    "classify_spans",
+    "span_hosts",
+    "worst_status",
     "check_children_consistency",
     "check_induces_cluster_tree",
     "check_info_dominance",

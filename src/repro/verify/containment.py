@@ -1,0 +1,193 @@
+"""Per-invariant containment classification under adversarial hosts.
+
+The checkers in :mod:`repro.verify.invariants` answer "does the
+invariant hold?" — all-or-nothing, which is the right question when
+every host is correct.  Under k misbehaving hosts
+(:mod:`repro.chaos.adversary`) the interesting question is *where the
+damage stops*, in the spirit of the locally-bounded Byzantine model
+(Bonomi/Farina/Tixeuil): an invariant may
+
+* ``holds_globally`` — no violation anywhere, adversaries included;
+* ``holds_correct_only`` — every observed violation involves at least
+  one adversary host, so the damage is **contained**: the sub-system of
+  correct hosts still satisfies the invariant;
+* ``broken`` — some violation involves only correct hosts: the
+  adversary corrupted state *beyond* itself, which is the outcome the
+  paper's host-carried-obligations architecture must prevent.
+
+Attribution is structural, not textual: each violation is a tuple of
+the host names it touches (the same keying the
+:class:`~repro.verify.monitor.InvariantMonitor` uses for its
+:class:`~repro.verify.monitor.ViolationSpan` keys), and a violation is
+contained iff its host set intersects the adversary set.
+
+Like all of :mod:`repro.verify`, this is an oracle: it reads ground
+truth (real INFO sets, real parent pointers, real delivery logs) that
+no protocol host — honest or not — can see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.engine import BroadcastSystem
+from .invariants import find_parent_cycles
+from .monitor import ViolationSpan
+
+#: classification outcomes, ordered from best to worst
+CONTAINMENT_STATUSES: Tuple[str, ...] = (
+    "holds_globally", "holds_correct_only", "broken")
+
+
+@dataclass(frozen=True)
+class InvariantContainment:
+    """One invariant's fate under the run's adversaries."""
+
+    invariant: str
+    status: str
+    #: each violation as the tuple of host names it involves
+    violations: Tuple[Tuple[str, ...], ...] = ()
+
+    @property
+    def contained(self) -> bool:
+        """True unless damage reached hosts beyond the adversaries."""
+        return self.status != "broken"
+
+
+def _classify(invariant: str,
+              violations: Sequence[Tuple[str, ...]],
+              adversaries: FrozenSet[str]) -> InvariantContainment:
+    if not violations:
+        return InvariantContainment(invariant, "holds_globally")
+    contained = all(any(h in adversaries for h in hosts)
+                    for hosts in violations)
+    return InvariantContainment(
+        invariant, "holds_correct_only" if contained else "broken",
+        tuple(violations))
+
+
+# ----------------------------------------------------------------------
+# Structural (host-attributed) violation extraction
+# ----------------------------------------------------------------------
+
+
+def _harmful_cycle_violations(system: BroadcastSystem) -> List[Tuple[str, ...]]:
+    out = []
+    for cycle in find_parent_cycles(system):
+        cycle_max = max(system.hosts[h].info.max_seqno for h in cycle)
+        harmful = any(
+            system.hosts[other].info.max_seqno > cycle_max
+            and any(system.network.reachable(member, other)
+                    for member in cycle)
+            for other in system.built.hosts if other not in cycle)
+        if harmful:
+            out.append(tuple(sorted(str(h) for h in cycle)))
+    return out
+
+
+def _info_dominance_violations(system: BroadcastSystem) -> List[Tuple[str, ...]]:
+    out = []
+    for child_id, parent_id in system.parent_edges().items():
+        if parent_id is None or parent_id not in system.hosts:
+            continue
+        if (system.hosts[child_id].info.max_seqno
+                > system.hosts[parent_id].info.max_seqno):
+            out.append((str(child_id), str(parent_id)))
+    return out
+
+
+def _leadership_violations(system: BroadcastSystem) -> List[Tuple[str, ...]]:
+    from .invariants import true_leaders
+
+    out = []
+    for _idx, leaders in true_leaders(system).items():
+        if len(leaders) != 1:
+            out.append(tuple(sorted(str(h) for h in leaders)))
+    return out
+
+
+def _children_violations(system: BroadcastSystem) -> List[Tuple[str, ...]]:
+    out = []
+    for child_id, parent_id in system.parent_edges().items():
+        if parent_id is None or parent_id not in system.hosts:
+            continue
+        if child_id not in system.hosts[parent_id].children:
+            out.append((str(child_id), str(parent_id)))
+    return out
+
+
+def classify_containment(
+    system: BroadcastSystem,
+    adversaries: Iterable[str],
+    quiescent: bool = False,
+    n: Optional[int] = None,
+) -> Tuple[InvariantContainment, ...]:
+    """Classify every applicable §4.3 invariant on the live system.
+
+    ``quiescent`` adds the structure invariants that only make sense at
+    rest (leadership, CHILDREN consistency); ``n`` adds ``delivery``
+    (every host delivered 1..n — the reliability claim itself, framed
+    as an invariant so its containment is reported alongside).
+    """
+    adv = frozenset(str(a) for a in adversaries)
+    results = [
+        _classify("no_harmful_cycles",
+                  _harmful_cycle_violations(system), adv),
+        _classify("info_dominance",
+                  _info_dominance_violations(system), adv),
+    ]
+    if quiescent:
+        results.append(_classify("single_leader_per_cluster",
+                                 _leadership_violations(system), adv))
+        results.append(_classify("children_consistency",
+                                 _children_violations(system), adv))
+    if n is not None:
+        missing = [(str(h),) for h in system.built.hosts
+                   if not system.hosts[h].deliveries.has_all(n)]
+        results.append(_classify("delivery", missing, adv))
+    return tuple(results)
+
+
+# ----------------------------------------------------------------------
+# Monitor-span attribution (online observations, not just end state)
+# ----------------------------------------------------------------------
+
+
+def span_hosts(span: ViolationSpan) -> Tuple[str, ...]:
+    """The host names a monitor violation span involves (its key minus
+    the leading invariant kind)."""
+    return tuple(span.key[1:])
+
+
+def classify_spans(
+    spans: Iterable[ViolationSpan],
+    adversaries: Iterable[str],
+    stable_only: bool = True,
+) -> Tuple[InvariantContainment, ...]:
+    """Classify an :class:`~repro.verify.monitor.InvariantMonitor`'s
+    observed violation spans by invariant kind.
+
+    With ``stable_only`` (the default) transient spans — expected
+    mid-recovery wobble — are ignored; a span that was still active
+    when monitoring stopped counts regardless of duration.  Kinds with
+    no surviving span report ``holds_globally``.
+    """
+    adv = frozenset(str(a) for a in adversaries)
+    by_kind: Dict[str, List[Tuple[str, ...]]] = {
+        "harmful_cycle": [], "info_dominance": []}
+    for span in spans:
+        if stable_only and not (span.stable or span.unresolved_at_end):
+            continue
+        by_kind.setdefault(span.key[0], []).append(span_hosts(span))
+    return tuple(_classify(kind, violations, adv)
+                 for kind, violations in sorted(by_kind.items()))
+
+
+def worst_status(results: Iterable[InvariantContainment]) -> str:
+    """The most pessimistic status across ``results`` (empty input is
+    vacuously ``holds_globally``)."""
+    worst = 0
+    for result in results:
+        worst = max(worst, CONTAINMENT_STATUSES.index(result.status))
+    return CONTAINMENT_STATUSES[worst]

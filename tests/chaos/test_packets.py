@@ -2,9 +2,12 @@
 
 import pytest
 
-from repro.chaos import ChaosPlan, ChaosSpec, PacketChaos, PacketFaultSpec
+from repro.chaos import ChaosPlan, ChaosSpec, HostOutageSpec, PacketChaos, \
+    PacketFaultSpec
 from repro.core import BroadcastSystem, ProtocolConfig
-from repro.net import wan_of_lans
+from repro.core.seqnoset import SeqnoSet
+from repro.core.wire import InfoMsg, corrupted_copy, forged_copy
+from repro.net import HostId, wan_of_lans
 from repro.sim import Simulator
 
 
@@ -82,7 +85,7 @@ def test_dst_and_window_scoping():
                         (PacketFaultSpec(dst=victim, start=0.0, end=4.0,
                                          corrupt_prob=1.0),)).start()
     # Only the victim's port is tapped.
-    tapped = [str(p.host_id) for p in chaos._tapped]
+    tapped = [str(port.host_id) for port, _tap in chaos._tapped]
     assert tapped == [victim]
     run_stream(sim, system, until=30.0)
     # After the window closed, corruption stopped; stream still completes.
@@ -126,6 +129,73 @@ def test_chaos_plan_composes_packet_faults_and_heals():
     for host in built.network.hosts():
         assert built.network.host_port(host).tap is None
     assert plan  # plan object stays alive for inspection
+
+
+def test_crash_cancels_pending_injections_for_the_victim():
+    # A duplicate queued with a long lag toward a host that crashes
+    # mid-window must be cancelled: a recovering host must not receive
+    # chaos-made copies of packets from before its crash.
+    sim, built, system = build_system()
+    victim = str(sorted(built.hosts)[1])
+    plan = ChaosPlan(sim, system, ChaosSpec(
+        heal_by=30.0,
+        host_outages=(HostOutageSpec(host=victim, start=10.0, end=20.0),),
+        packet_faults=(PacketFaultSpec(dst=victim, dup_prob=1.0,
+                                       dup_lag=50.0, end=9.0),),
+    )).start()
+    run_stream(sim, system, until=9.5)
+    assert sim.metrics.counter("chaos.packet.duplicated").value > 0
+    pending = [dst for chaos in plan._packet_chaos
+               for dst in chaos._pending.values()]
+    assert HostId(victim) in pending  # far-future dups queued pre-crash
+    sim.run(until=11.0)  # the crash fires, taking the queue with it
+    assert sim.metrics.counter("chaos.packet.cancelled_crashed").value \
+        == len(pending)
+    assert not any(chaos._pending for chaos in plan._packet_chaos)
+    assert system.run_until_delivered(5, timeout=300.0)
+
+
+def test_corrupt_drops_split_dup_uid_from_forged_uid():
+    sim, built, system = build_system()
+    run_stream(sim, system, until=20.0)  # protocol is up and attached
+    hosts = sorted(built.hosts)
+    src, dst = hosts[0], hosts[1]
+    info = SeqnoSet()
+    info.add(1)
+    msg = InfoMsg(sender=src, info=info, parent=None)
+    port = built.network.host_port(src)
+    # 1) honest delivery: dst records (src, uid) as seen
+    port.send(dst, msg)
+    sim.run(until=sim.now + 2.0)
+    base_dup = sim.metrics.counter(
+        "proto.wire.corrupt_dropped.dup_uid").value
+    base_forged = sim.metrics.counter(
+        "proto.wire.corrupt_dropped.forged_uid").value
+    # 2) a mangled retransmission of the *same* uid -> dup_uid
+    port.send(dst, corrupted_copy(msg))
+    # 3) a corrupt message with a never-seen uid -> forged_uid
+    port.send(dst, corrupted_copy(forged_copy(msg, uid=0)))
+    sim.run(until=sim.now + 2.0)
+    dup = sim.metrics.counter("proto.wire.corrupt_dropped.dup_uid").value
+    forged = sim.metrics.counter(
+        "proto.wire.corrupt_dropped.forged_uid").value
+    assert dup == base_dup + 1
+    assert forged == base_forged + 1
+    # The legacy aggregate keeps its name and covers both.
+    assert sim.metrics.counter("proto.wire.corrupt_dropped").value >= \
+        dup + forged - base_dup - base_forged
+
+
+def test_corrupt_split_counters_sum_to_aggregate_under_chaos():
+    sim, built, system = build_system()
+    PacketChaos(sim, built.network,
+                (PacketFaultSpec(corrupt_prob=0.3),)).start()
+    run_stream(sim, system)
+    total = sim.metrics.counter("proto.wire.corrupt_dropped").value
+    split = (sim.metrics.counter("proto.wire.corrupt_dropped.dup_uid").value
+             + sim.metrics.counter(
+                 "proto.wire.corrupt_dropped.forged_uid").value)
+    assert total > 0 and total == split
 
 
 def test_same_seed_same_fault_sequence():

@@ -1,0 +1,53 @@
+"""Small, tier-1-sized E24 run: adversarial hosts and containment.
+
+The full sweep (three protocols x k x persona x placement) runs in a
+couple of seconds, but the fast suite pins only the load-bearing
+claims: the sweep is deterministic, the k=0 baselines are perfect, an
+interior data black hole starves its correct subtree under the tree
+protocol while every structural invariant still holds globally, and
+leaf placements are harmless everywhere.
+"""
+
+from repro.experiments import get_spec, run_e24_adversary_containment
+
+PERSONAS = ("selective_forward", "stale_info")
+
+
+def _rows():
+    result = run_e24_adversary_containment(
+        n=8, ks=(0, 1), personas=PERSONAS, horizon=60.0)
+    return result, {(r["protocol"], r["k"], r["persona"], r["placement"]): r
+                    for r in result.rows}
+
+
+def test_e24_small_placement_decides_the_outcome():
+    result, rows = _rows()
+    # 3 protocols x (k=0 baseline + 2 personas x 2 placements)
+    assert len(rows) == 3 * (1 + len(PERSONAS) * 2)
+
+    for protocol in ("tree", "basic", "epidemic"):
+        baseline = rows[(protocol, 0, "-", "-")]
+        assert baseline["correct_delivered"] == 1.0 and baseline["correct_ok"]
+
+    black_hole = rows[("tree", 1, "selective_forward", "interior")]
+    assert not black_hole["correct_ok"]
+    assert black_hole["correct_delivered"] < 1.0
+    # The damage is purely data-plane: structure invariants all hold.
+    assert black_hole["containment"] == "holds_globally"
+    assert black_hole["broken"] == 0
+
+    # The same persona at a leaf — or against the source-direct basic
+    # algorithm / redundant epidemic baseline — hurts nobody.
+    assert rows[("tree", 1, "selective_forward", "leaf")]["correct_ok"]
+    for protocol in ("basic", "epidemic"):
+        for persona in PERSONAS:
+            for placement in ("interior", "leaf"):
+                row = rows[(protocol, 1, persona, placement)]
+                assert row["correct_ok"], row
+
+
+def test_e24_small_is_deterministic_and_registered():
+    a, _ = _rows()
+    b, _ = _rows()
+    assert a.rows == b.rows
+    assert get_spec("E24").runner is run_e24_adversary_containment

@@ -63,3 +63,52 @@ def test_basic_baseline_delivers_exactly_once_under_duplication():
     assert system.run_until_delivered(N, timeout=300.0)
     _assert_exactly_once(system, N)
     assert sim.metrics.counter("net.dup").value > 0
+
+
+def _equivocator(sim, system, host="h0.1"):
+    from repro.chaos import AdversarySpec, ChaosPlan, ChaosSpec
+
+    ChaosPlan(sim, system, ChaosSpec(heal_by=5.0, adversaries=(
+        AdversarySpec(host=host, persona="equivocate", lie_ahead=4),
+    ))).start()
+    return host
+
+
+def _assert_exactly_once_correct(system, n, adversary):
+    for host_id, records in system.delivery_records().items():
+        seqs = sorted(r.seq for r in records)
+        assert seqs == sorted(set(seqs)), (host_id, seqs)
+        if str(host_id) != adversary:
+            assert set(range(1, n + 1)) <= set(seqs), (host_id, seqs)
+
+
+def test_tree_delivers_exactly_once_with_equivocating_neighbor():
+    # A neighbor that tells half its peers an INFO claim inflated by
+    # phantom seqnos baits them into asking for messages that do not
+    # exist; the gap-fill machinery must neither deliver phantoms nor
+    # deliver real messages twice while recovering from the bait.
+    sim, built = _build(seed=3, dup=0.2)
+    system = BroadcastSystem(
+        built, config=ProtocolConfig.for_scale(6, data_size_bits=4_000)).start()
+    adv = _equivocator(sim, system)
+    system.broadcast_stream(N, interval=1.0, start_at=2.0)
+    correct = [h for h in built.hosts if str(h) != adv]
+    assert system.run_until_delivered(N, timeout=300.0, hosts=correct)
+    _assert_exactly_once_correct(system, N, adv)
+    assert sim.metrics.counter("chaos.adversary.equivocated").value > 0
+    # Nobody delivered a phantom seqno the equivocator invented.
+    for _host_id, records in system.delivery_records().items():
+        assert all(r.seq <= N for r in records)
+
+
+def test_basic_delivers_exactly_once_with_equivocating_neighbor():
+    sim, built = _build(seed=7, dup=0.2)
+    system = BasicBroadcastSystem(
+        built, config=BasicConfig(data_size_bits=4_000)).start()
+    adv = _equivocator(sim, system)
+    system.broadcast_stream(N, interval=1.0, start_at=2.0)
+    correct = [h for h in built.hosts if str(h) != adv]
+    assert system.run_until_delivered(N, timeout=300.0, hosts=correct)
+    _assert_exactly_once_correct(system, N, adv)
+    for _host_id, records in system.delivery_records().items():
+        assert all(r.seq <= N for r in records)

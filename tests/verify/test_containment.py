@@ -1,0 +1,94 @@
+"""Tests for per-invariant containment classification under adversaries."""
+
+from repro.core import BroadcastSystem, ProtocolConfig
+from repro.net import wan_of_lans
+from repro.sim import Simulator
+from repro.verify import (CONTAINMENT_STATUSES, InvariantContainment,
+                          classify_containment, classify_spans, span_hosts,
+                          worst_status)
+from repro.verify.containment import _classify
+from repro.verify.monitor import ViolationSpan
+
+
+def _span(kind, *hosts, stable=True, unresolved=False):
+    return ViolationSpan(key=(kind, *hosts), first_seen=1.0, last_seen=30.0,
+                         stable=stable, unresolved_at_end=unresolved)
+
+
+def test_classify_statuses():
+    adv = frozenset({"h1.1"})
+    assert _classify("x", [], adv).status == "holds_globally"
+    assert _classify("x", [("h1.1", "h1.0")], adv).status == \
+        "holds_correct_only"
+    assert _classify("x", [("h0.1", "h1.0")], adv).status == "broken"
+    # one contained violation does not excuse an uncontained one
+    assert _classify("x", [("h1.1",), ("h0.1",)], adv).status == "broken"
+
+
+def test_contained_property_and_worst_status():
+    results = (InvariantContainment("a", "holds_globally"),
+               InvariantContainment("b", "holds_correct_only",
+                                    ((("h1.1",),))),
+               InvariantContainment("c", "broken", ((("h0.1",),))))
+    assert results[0].contained and results[1].contained
+    assert not results[2].contained
+    assert worst_status(results) == "broken"
+    assert worst_status(results[:2]) == "holds_correct_only"
+    assert worst_status(()) == "holds_globally"
+    assert tuple(CONTAINMENT_STATUSES) == (
+        "holds_globally", "holds_correct_only", "broken")
+
+
+def test_span_attribution_is_structural():
+    span = _span("info_dominance", "h1.0", "h1.1")
+    assert span_hosts(span) == ("h1.0", "h1.1")
+
+
+def test_classify_spans_filters_transients_and_seeds_kinds():
+    spans = [
+        _span("info_dominance", "h1.0", "h1.1"),             # stable
+        _span("info_dominance", "h0.1", "h0.0", stable=False),  # transient
+        _span("harmful_cycle", "h2.0", "h2.1", stable=False,
+              unresolved=True),                               # open at end
+    ]
+    results = {r.invariant: r for r in classify_spans(spans, {"h1.1"})}
+    # transient wobble among correct hosts is not a broken verdict
+    assert results["info_dominance"].status == "holds_correct_only"
+    # an unresolved-at-end span counts even though it never went stable
+    assert results["harmful_cycle"].status == "broken"
+    # both monitored kinds always report, even with no spans at all
+    empty = {r.invariant: r.status for r in classify_spans([], ())}
+    assert empty == {"harmful_cycle": "holds_globally",
+                     "info_dominance": "holds_globally"}
+
+
+def test_classify_containment_on_a_healthy_live_system():
+    sim = Simulator(seed=11)
+    built = wan_of_lans(sim, clusters=2, hosts_per_cluster=2,
+                        backbone="line")
+    system = BroadcastSystem(built, config=ProtocolConfig.for_scale(4)).start()
+    n = 5
+    system.broadcast_stream(n, interval=1.0, start_at=2.0)
+    assert system.run_until_delivered(n, timeout=120.0)
+    results = classify_containment(system, adversaries=(), quiescent=True,
+                                   n=n)
+    names = {r.invariant for r in results}
+    assert names == {"no_harmful_cycles", "info_dominance",
+                     "single_leader_per_cluster", "children_consistency",
+                     "delivery"}
+    assert worst_status(results) == "holds_globally"
+
+
+def test_delivery_invariant_is_contained_when_only_adversaries_starve():
+    sim = Simulator(seed=11)
+    built = wan_of_lans(sim, clusters=2, hosts_per_cluster=2,
+                        backbone="line")
+    system = BroadcastSystem(built, config=ProtocolConfig.for_scale(4)).start()
+    n = 5
+    system.broadcast_stream(n, interval=1.0, start_at=2.0)
+    sim.run(until=60.0)
+    # Pretend a host that did deliver everything is an adversary and a
+    # fully-delivered run has no delivery violations at all.
+    results = {r.invariant: r for r in classify_containment(
+        system, adversaries={"h1.0"}, n=n)}
+    assert results["delivery"].status == "holds_globally"

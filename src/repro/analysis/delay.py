@@ -19,12 +19,14 @@ class DelayStats:
     p50: float
     p95: float
     p99: float
+    p999: float
     max: float
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict form for serialization and reporting."""
         return {"count": self.count, "mean": self.mean, "p50": self.p50,
-                "p95": self.p95, "p99": self.p99, "max": self.max}
+                "p95": self.p95, "p99": self.p99, "p999": self.p999,
+                "max": self.max}
 
 
 def _quantile(sorted_values: List[float], q: float) -> float:
@@ -46,13 +48,15 @@ def delay_stats(delays: Iterable[float]) -> DelayStats:
     """Summarize a collection of delays."""
     values = sorted(delays)
     if not values:
-        return DelayStats(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+        return DelayStats(0, math.nan, math.nan, math.nan, math.nan,
+                          math.nan, math.nan)
     return DelayStats(
         count=len(values),
         mean=sum(values) / len(values),
         p50=_quantile(values, 0.50),
         p95=_quantile(values, 0.95),
         p99=_quantile(values, 0.99),
+        p999=_quantile(values, 0.999),
         max=values[-1],
     )
 

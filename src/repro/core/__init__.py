@@ -26,6 +26,7 @@ from .mapstate import MapState
 from .multisource import MultiSourceBroadcastSystem, PortMux, TaggedPayload, VirtualPort
 from .ordering import FifoDeliveryAdapter
 from .piggyback import ControlBundle, PiggybackPort
+from .resources import ResourceConfig, ShedPolicy, TokenBucket
 from .rtt import CongestionSignal, ExponentialBackoff, PeerRtt, RttEstimator
 from .seqnoset import SeqnoSet, info_equiv, info_leq, info_less
 from .source import SourceHost
@@ -72,8 +73,11 @@ __all__ = [
     "TaggedPayload",
     "VirtualPort",
     "ProtocolConfig",
+    "ResourceConfig",
     "RttEstimator",
     "SeqnoSet",
+    "ShedPolicy",
+    "TokenBucket",
     "SourceHost",
     "TransitTimeClassifier",
     "checksum_ok",

@@ -19,6 +19,9 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 from enum import Enum
+from typing import Optional
+
+from .resources import ResourceConfig
 
 
 class ClusterMode(Enum):
@@ -166,6 +169,12 @@ class ProtocolConfig:
     #: newest may still be buffered).  0 = the whole contiguous prefix
     #: survives; everything above the prefix is always volatile and lost.
     crash_stable_lag: int = 0
+
+    # -- bounded host resources (repro.core.resources; DESIGN.md §13) ------------
+    #: buffer limits, shedding policies, and source admission control.
+    #: ``None`` (the default) leaves every buffer unbounded and admission
+    #: off — byte-identical to builds without the resource model.
+    resources: Optional[ResourceConfig] = None
 
     # -- message sizes -----------------------------------------------------------
     #: application data message size in bits

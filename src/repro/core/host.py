@@ -33,6 +33,7 @@ from .config import ClusterMode, CostBitMode, ProtocolConfig
 from .costinfer import TransitTimeClassifier
 from .delivery import DeliverCallback, DeliveryLog, DeliveryRecord
 from .mapstate import MapState
+from .resources import ShedPolicy
 from .rtt import CongestionSignal, ExponentialBackoff, PeerRtt
 from .seqnoset import SeqnoSet
 from .wire import (
@@ -100,6 +101,12 @@ class BroadcastHost:
         self._flushed_prefix = 0
         #: (target -> seq -> last fill time); bounds duplicate gap fills
         self._recent_fills: Dict[HostId, Dict[int, float]] = {}
+        #: bounded-resource model (DESIGN.md §13); None = everything
+        #: unbounded, zero behavioral footprint
+        self._resources = self.config.resources
+        #: running total of (target, seq) suppression entries, so the
+        #: fill-table bound never needs a full recount on the hot path
+        self._fill_entries = 0
         #: when each current child was (re)registered — reconcile grace
         self._child_since: Dict[HostId, float] = {}
         #: last time the current parent sent us data (or was adopted)
@@ -253,6 +260,7 @@ class BroadcastHost:
         self.children.clear()
         self._child_since.clear()
         self._recent_fills.clear()
+        self._fill_entries = 0
         self._parent_progress_at = 0.0
         self._cost_classifier = TransitTimeClassifier(
             spread_factor=self.config.transit_spread_factor)
@@ -424,6 +432,7 @@ class BroadcastHost:
     def _accept(self, msg: DataMsg, sender: HostId, new_max: bool) -> None:
         self.info.add(msg.seq)
         self.store[msg.seq] = msg
+        self._shed_store()
         via_gapfill = not new_max or msg.gapfill
         self.deliveries.record(DeliveryRecord(
             seq=msg.seq, content=msg.content, created_at=msg.created_at,
@@ -459,6 +468,22 @@ class BroadcastHost:
         stored = self.store.get(seq)
         if stored is None:
             return
+        resources = self._resources
+        if resources is not None and resources.bounds_outbound:
+            # Outbound backpressure: a data send that would land on an
+            # already-deep access-link queue is shed (drop-newest) —
+            # the receiver's INFO advertisement keeps the hole visible
+            # and periodic gap filling retries once the queue drains.
+            # Control traffic never comes through here, so the control
+            # plane stays alive under data overload.
+            depth_of = getattr(self.port, "queue_length", None)
+            if (depth_of is not None
+                    and depth_of() >= resources.outbound_queue_limit):
+                self.sim.trace.emit(
+                    "host.shed", str(self.me), buffer="outbound", seq=seq,
+                    target=str(target), policy=ShedPolicy.DROP_NEWEST.value)
+                self.sim.metrics.counter("proto.shed.outbound").inc()
+                return
         msg = DataMsg(seq=stored.seq, content=stored.content,
                       created_at=stored.created_at, origin=stored.origin,
                       gapfill=gapfill, size_bits=self.config.data_size_bits)
@@ -466,13 +491,67 @@ class BroadcastHost:
         self.maps.note_sent(target, [seq])
         # Every data send enters the suppression window so periodic gap
         # filling does not immediately duplicate a normal forward.
-        self._recent_fills.setdefault(target, {})[seq] = self.sim.now
+        fills = self._recent_fills.setdefault(target, {})
+        if seq not in fills:
+            self._fill_entries += 1
+        fills[seq] = self.sim.now
+        self._shed_fill_table()
         if gapfill:
             self.sim.metrics.counter("proto.gapfill.sent").inc()
             self.sim.trace.emit("host.gapfill_send", str(self.me),
                                 target=str(target), seq=seq)
         else:
             self.sim.metrics.counter("proto.data.forwarded").inc()
+
+    # ------------------------------------------------------------------
+    # Bounded resources (DESIGN.md §13) — all no-ops when resources=None
+    # ------------------------------------------------------------------
+
+    def _shed_store(self) -> None:
+        """Enforce the message-store bound after an insert.
+
+        Eviction drops the *store entry only*: the sequence number stays
+        in INFO (this host genuinely delivered it), so the shed host
+        simply stops being a possible gap-fill supplier for that
+        message.  The source is exempt — its store is the stable outbox
+        the whole protocol's reliability argument leans on.
+        """
+        resources = self._resources
+        if resources is None or not resources.bounds_store or self.is_source:
+            return
+        policy = resources.store_policy
+        while len(self.store) > resources.store_limit:
+            victim = (max(self.store) if policy is ShedPolicy.DROP_NEWEST
+                      else min(self.store))
+            del self.store[victim]
+            self.sim.trace.emit("host.shed", str(self.me), buffer="store",
+                                seq=victim, policy=policy.value)
+            self.sim.metrics.counter("proto.shed.store").inc()
+
+    def _shed_fill_table(self) -> None:
+        """Enforce the gap-fill suppression-table bound.
+
+        Evicts the oldest-stamped entries first: their suppression
+        window is nearest to expiring, so forgetting them early costs
+        at most one duplicate fill — the cheapest possible loss.
+        """
+        resources = self._resources
+        if resources is None or not resources.bounds_fill_table:
+            return
+        excess = self._fill_entries - resources.fill_table_limit
+        if excess <= 0:
+            return
+        entries = sorted(
+            (when, target, seq)
+            for target, fills in self._recent_fills.items()
+            for seq, when in fills.items())
+        for when, target, seq in entries[:excess]:
+            del self._recent_fills[target][seq]
+            self._fill_entries -= 1
+            self.sim.metrics.counter("proto.shed.fill_table").inc()
+        self.sim.trace.emit("host.shed", str(self.me), buffer="fill_table",
+                            count=excess,
+                            policy=ShedPolicy.DROP_OLDEST.value)
 
     # ------------------------------------------------------------------
     # INFO exchange

@@ -83,6 +83,10 @@ class VirtualPort:
         """This host's wall-clock reading."""
         return self._mux.port.local_time()
 
+    def queue_length(self) -> int:
+        """Outbound access-link queue depth (shared across instances)."""
+        return self._mux.port.queue_length()
+
     def send(self, dst: HostId, payload: Payload) -> None:
         """Send one individually addressed message (fire-and-forget)."""
         self._mux.port.send(dst, TaggedPayload(self.instance, payload))

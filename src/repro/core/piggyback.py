@@ -90,6 +90,10 @@ class PiggybackPort:
         """This host's wall-clock reading."""
         return self._port.local_time()
 
+    def queue_length(self) -> int:
+        """Outbound access-link queue depth (delegated to the real port)."""
+        return self._port.queue_length()
+
     def set_receiver(self, callback: Callable[[Packet], None]) -> None:
         """Register the callback invoked for each inbound packet."""
         self._receiver = callback

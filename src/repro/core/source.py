@@ -17,6 +17,7 @@ from ..net import HostId
 from ..sim import PeriodicTask
 from .delivery import DeliveryRecord
 from .host import BroadcastHost
+from .resources import TokenBucket
 from .wire import DataMsg
 
 
@@ -26,6 +27,16 @@ class SourceHost(BroadcastHost):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._next_seq = 1
+        # Source-side admission control (DESIGN.md §13): a token bucket
+        # paces how fast new broadcasts are *accepted*; the congestion
+        # signal brakes the refill while receives are going bad.  None
+        # unless the resource model asks for it.
+        self._admission: Optional[TokenBucket] = None
+        resources = self.config.resources
+        if resources is not None and resources.admission_enabled:
+            self._admission = TokenBucket(resources.admission_rate,
+                                          resources.admission_burst,
+                                          now=self.sim.now)
 
     @property
     def is_source(self) -> bool:
@@ -60,7 +71,15 @@ class SourceHost(BroadcastHost):
         (``INFO_s`` is updated every time a new message is generated)
         and pushed to the source's current children.  Hosts not yet
         attached will pick it up through attachment + gap filling.
+
+        With admission control enabled, a broadcast arriving while the
+        token bucket is empty is **rejected**: no sequence number is
+        consumed and 0 is returned (real seqnos start at 1).  Rejection
+        is the reject-at-source shedding policy — the degradation mode
+        that keeps memory bounded under open-loop overload.
         """
+        if not self._admit():
+            return 0
         seq = self._next_seq
         self._next_seq += 1
         msg = DataMsg(seq=seq, content=content, created_at=self.sim.now,
@@ -80,3 +99,23 @@ class SourceHost(BroadcastHost):
             for child in sorted(self.children):
                 self._send_data(child, seq, gapfill=False)
         return seq
+
+    def _admit(self) -> bool:
+        """Admission check for one broadcast (True = accepted)."""
+        if self._admission is None:
+            return True
+        resources = self.config.resources
+        assert resources is not None
+        brake = resources.congestion_brake if self._congested() else 1.0
+        if self._admission.try_take(self.sim.now, brake=brake):
+            return True
+        self.sim.trace.emit("source.admission_reject", str(self.me),
+                            braked=brake < 1.0)
+        self.sim.metrics.counter("proto.source.admission_rejected").inc()
+        return False
+
+    def recover(self) -> None:
+        """Recover from a crash; the admission bucket restarts full."""
+        if self.crashed and self._admission is not None:
+            self._admission.reset(self.sim.now)
+        super().recover()

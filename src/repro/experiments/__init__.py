@@ -35,6 +35,16 @@ from .runners import (
     run_e22_parallel_speedup,
     run_e23_fuzz_campaign,
     run_e24_adversary_containment,
+    run_e25_saturation,
+)
+from .saturation import (
+    ARRIVAL_SHAPES,
+    CountingSource,
+    SloSpec,
+    arrival_times,
+    delivery_latency_stats,
+    measure_capacity,
+    schedule_open_loop,
 )
 from .sweep import grid, sweep
 from .workload import bursty_stream, constant_rate_stream, poisson_stream
@@ -46,10 +56,17 @@ __all__ = [
     "ExperimentSpec",
     "get_spec",
     "run_registered",
+    "ARRIVAL_SHAPES",
+    "CountingSource",
+    "SloSpec",
+    "arrival_times",
     "bursty_stream",
     "constant_rate_stream",
+    "delivery_latency_stats",
     "grid",
+    "measure_capacity",
     "poisson_stream",
+    "schedule_open_loop",
     "sweep",
     "run_e1_cost",
     "run_e2_delay",
@@ -76,4 +93,5 @@ __all__ = [
     "run_e22_parallel_speedup",
     "run_e23_fuzz_campaign",
     "run_e24_adversary_containment",
+    "run_e25_saturation",
 ]

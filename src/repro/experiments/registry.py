@@ -48,6 +48,7 @@ from .runners import (
     run_e22_parallel_speedup,
     run_e23_fuzz_campaign,
     run_e24_adversary_containment,
+    run_e25_saturation,
 )
 
 RunnerFn = Callable[..., ExperimentResult]
@@ -185,6 +186,7 @@ for _exp_id, _runner in (
     ("E22", run_e22_parallel_speedup),
     ("E23", run_e23_fuzz_campaign),
     ("E24", run_e24_adversary_containment),
+    ("E25", run_e25_saturation),
 ):
     register(_exp_id, _runner)
 

@@ -33,12 +33,13 @@ from ..baseline import (
     EpidemicBroadcastSystem,
     EpidemicConfig,
 )
-from ..core import BroadcastSystem, ClusterMode, ProtocolConfig
+from ..core import BroadcastSystem, ClusterMode, ProtocolConfig, ResourceConfig
 from ..net import (
     HostId,
     LinkFlapper,
     cheap_spec,
     expensive_spec,
+    link_pressure,
     wan_of_lans,
 )
 from ..scenarios import (
@@ -53,6 +54,13 @@ from ..exec import Executor, SerialExecutor, WorkItem, values_or_raise
 from ..sim import Simulator
 from ..verify import check_all, run_to_quiescence, true_leaders
 from .records import ExperimentResult
+from .saturation import (
+    CountingSource,
+    SloSpec,
+    delivery_latency_stats,
+    measure_capacity,
+    schedule_open_loop,
+)
 
 #: smaller data messages for sweeps that must not saturate 56 kbit/s
 #: trunks under the basic algorithm's N-copies-per-message load
@@ -1538,6 +1546,190 @@ def run_e24_adversary_containment(
                 "personas never heal, so verdicts cover correct hosts only "
                 "and 'containment' is worst-case over all monitored "
                 "invariants (tree protocol only)")
+    return result
+
+
+#: E25 utilization fractions of the measured capacity, mild -> overload
+E25_UTILIZATIONS: Tuple[float, ...] = (0.4, 1.5, 3.0)
+
+#: protocols swept by E25; "tree+shed" is the tree protocol with bounded
+#: resources, load shedding, and admission control switched on
+E25_PROTOCOLS: Tuple[str, ...] = ("tree", "tree+shed", "basic", "epidemic")
+
+
+def _e25_resources(capacity: float) -> ResourceConfig:
+    """The bounded-resource policy E25 gives the shedding tree.
+
+    Admission is anchored at the measured capacity: the token bucket
+    passes what the slowest pipeline stage can actually service and
+    rejects the overload at the source, before it ever costs a trunk
+    transmission.  Store/fill-table/outbound bounds catch what admission
+    lets through in bursts.
+    """
+    return ResourceConfig(store_limit=64, fill_table_limit=512,
+                          outbound_queue_limit=32,
+                          admission_rate=capacity, admission_burst=8)
+
+
+def _e25_system(protocol: str, built, n_hosts: int, capacity: float):
+    """Build and start one E25 system (dispatch mirrors `_e24_point`)."""
+    if protocol == "tree":
+        return BroadcastSystem(built, config=_tree_config(n_hosts)).start()
+    if protocol == "tree+shed":
+        return BroadcastSystem(built, config=_tree_config(
+            n_hosts, resources=_e25_resources(capacity))).start()
+    if protocol == "basic":
+        return BasicBroadcastSystem(built, config=_basic_config()).start()
+    return EpidemicBroadcastSystem(
+        built, config=EpidemicConfig(data_size_bits=SWEEP_DATA_BITS)).start()
+
+
+def _e25_capacity(protocol: str, seed: int, clusters: int,
+                  hosts_per_cluster: int, probe_n: int) -> float:
+    """Closed-loop capacity probe for one (unshed) protocol family."""
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=clusters,
+                        hosts_per_cluster=hosts_per_cluster, backbone="line")
+    system = _e25_system(protocol, built, clusters * hosts_per_cluster, 0.0)
+    return measure_capacity(system, n=probe_n)
+
+
+def _e25_point(protocol: str, shape: str, utilization: float,
+               capacity: float, seed: int, clusters: int,
+               hosts_per_cluster: int, duration: float, drain: float,
+               churn: bool, slo: Tuple[Optional[float], Optional[float],
+                                       Optional[float]]) -> Dict[str, Any]:
+    """One E25 grid point: one protocol under one sustained load window."""
+    from ..chaos import ChaosPlan, ChaosSpec, HostChurnSpec
+    from ..verify import OverloadMonitor
+
+    n_hosts = clusters * hosts_per_cluster
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=clusters,
+                        hosts_per_cluster=hosts_per_cluster, backbone="line")
+    system = _e25_system(protocol, built, n_hosts, capacity)
+    monitor = OverloadMonitor(sim, built.network, system=system).start()
+
+    start_at = 5.0  # let the tree attach before the load window opens
+    if churn:
+        churned = tuple(str(h) for h in built.hosts
+                        if h != system.source_id)
+        ChaosPlan(sim, system, ChaosSpec(
+            heal_by=start_at + duration,
+            host_churn=(HostChurnSpec(churned, mean_up=25.0,
+                                      mean_down=5.0),))).start()
+    counting = CountingSource(system.source)
+    offered = schedule_open_loop(sim, counting, shape,
+                                 rate=utilization * capacity,
+                                 duration=duration, start_at=start_at)
+    sim.run(until=start_at + duration)
+    monitor.note_load_end()
+
+    admitted = counting.admitted
+    delivered_ok = system.run_until_delivered(admitted, timeout=drain)
+    if delivered_ok:
+        sim.run(until=sim.now + 10.0)  # let in-flight control traffic land
+    monitor.stop()
+    report = monitor.report(delivered_ok)
+
+    stats = delivery_latency_stats(system.delivery_records(),
+                                   system.source_id, upto_seq=admitted)
+    slo_ok, failures = SloSpec(*slo).evaluate(stats)
+    shed = int(sum(sim.metrics.counter(f"proto.shed.{buffer}").value
+                   for buffer in ("store", "fill_table", "outbound")))
+    rejected = int(
+        sim.metrics.counter("proto.source.admission_rejected").value)
+    pressure = link_pressure(built.network.links.values())
+    worst = pressure[0] if pressure else None
+    return dict(
+        protocol=protocol, shape=shape, util=utilization,
+        churn="yes" if churn else "-",
+        offered=offered, admitted=admitted, delivered_ok=delivered_ok,
+        p50_s=stats.p50, p99_s=stats.p99, p999_s=stats.p999,
+        slo="pass" if slo_ok else "; ".join(failures),
+        verdict=report.verdict, peak_queue=report.peak_queue,
+        peak_store=report.peak_store, shed=shed, rejected=rejected,
+        worst_link=(f"{worst['link']}:{worst['overflows']}" if worst
+                    and worst["overflows"] else "-"))
+
+
+def run_e25_saturation(
+        seed: int = 25, clusters: int = 3, hosts_per_cluster: int = 2,
+        duration: float = 30.0,
+        utilizations: Sequence[float] = E25_UTILIZATIONS,
+        shapes: Sequence[str] = ("poisson", "bursty"),
+        protocols: Sequence[str] = E25_PROTOCOLS,
+        drain: float = 60.0,
+        slo: Tuple[Optional[float], Optional[float],
+                   Optional[float]] = (10.0, 60.0, 120.0),
+        probe_n: int = 60,
+        executor: Optional[Executor] = None) -> ExperimentResult:
+    """E25: saturation sweep — overload, shedding, graceful degradation.
+
+    Phase one probes each protocol family's closed-loop capacity; phase
+    two offers sustained open-loop load at ``utilizations`` fractions of
+    that capacity for ``duration`` seconds, in each arrival ``shape``,
+    then gives the system ``drain`` seconds to deliver everything it
+    admitted.  :class:`~repro.verify.OverloadMonitor` classifies every
+    run ``stable`` / ``degraded_recovering`` / ``collapsed``; delivery
+    latency of the admitted window is scored against the p50/p99/p999
+    ``slo`` gates.  The headline contrast: past saturation the unbounded
+    tree ``collapsed`` (drop-tail trunk losses leave recovery to
+    rate-limited gap fills that never catch up), while ``tree+shed`` —
+    identical protocol, bounded buffers plus capacity-anchored admission
+    — rejects the excess at the source and comes back
+    (``degraded_recovering``).  One extra point composes overload with
+    E20-style host churn on the shedding tree (the epidemic baseline
+    has no crash model), churn healing when the load window closes.
+    """
+    base = ("tree", "basic", "epidemic")
+    probes = [WorkItem(key=("E25", "capacity", protocol), fn=_e25_capacity,
+                       kwargs=dict(protocol=protocol, seed=seed,
+                                   clusters=clusters,
+                                   hosts_per_cluster=hosts_per_cluster,
+                                   probe_n=probe_n))
+              for protocol in base]
+    capacity = dict(zip(base, _map_items(executor, probes)))
+    capacity["tree+shed"] = capacity["tree"]  # same protocol family
+
+    result = ExperimentResult(
+        "E25", "Saturation: overload verdicts and tail-latency SLOs",
+        ["protocol", "shape", "util", "churn", "offered", "admitted",
+         "delivered_ok", "p50_s", "p99_s", "p999_s", "slo", "verdict",
+         "peak_queue", "peak_store", "shed", "rejected", "worst_link"])
+    items = []
+    for protocol in protocols:
+        for shape in shapes:
+            for utilization in utilizations:
+                items.append(WorkItem(
+                    key=("E25", protocol, shape, utilization),
+                    fn=_e25_point,
+                    kwargs=dict(protocol=protocol, shape=shape,
+                                utilization=utilization,
+                                capacity=capacity[protocol], seed=seed,
+                                clusters=clusters,
+                                hosts_per_cluster=hosts_per_cluster,
+                                duration=duration, drain=drain,
+                                churn=False, slo=slo)))
+    if "tree+shed" in protocols:
+        items.append(WorkItem(
+            key=("E25", "tree+shed", shapes[0], max(utilizations), "churn"),
+            fn=_e25_point,
+            kwargs=dict(protocol="tree+shed", shape=shapes[0],
+                        utilization=max(utilizations),
+                        capacity=capacity["tree+shed"], seed=seed,
+                        clusters=clusters,
+                        hosts_per_cluster=hosts_per_cluster,
+                        duration=duration, drain=3 * drain, churn=True,
+                        slo=slo)))
+    for row in _map_items(executor, items):
+        result.add_row(**row)
+    result.note("capacities (msg/s): " + ", ".join(
+        f"{p}={capacity[p]:.2f}" for p in base) +
+        "; util is the offered fraction of the protocol's own capacity; "
+        "latency percentiles cover the admitted window only; the churn "
+        "row composes overload with E20-style host crash/recovery "
+        "healing at load end")
     return result
 
 

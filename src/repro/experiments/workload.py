@@ -59,8 +59,17 @@ def bursty_stream(
     content: Callable[[int], object] = lambda k: f"msg-{k}",
 ) -> int:
     """Bursts of back-to-back messages; returns the total message count."""
-    if bursts < 0 or burst_size < 1 or burst_gap <= 0 or intra_burst_interval <= 0:
-        raise ValueError("invalid burst parameters")
+    # Validated per parameter: a combined "invalid burst parameters"
+    # error made sweep callers bisect their own argument lists.
+    if bursts < 0:
+        raise ValueError(f"bursts must be >= 0, got {bursts}")
+    if burst_size < 1:
+        raise ValueError(f"burst_size must be at least 1, got {burst_size}")
+    if burst_gap <= 0:
+        raise ValueError(f"burst_gap must be positive, got {burst_gap}")
+    if intra_burst_interval <= 0:
+        raise ValueError(
+            f"intra_burst_interval must be positive, got {intra_burst_interval}")
     k = 0
     for b in range(bursts):
         for i in range(burst_size):

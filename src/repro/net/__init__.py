@@ -28,7 +28,14 @@ from .generator import (
     wan_of_lans,
 )
 from .hostiface import HostPort
-from .link import BandwidthClass, Link, LinkSpec, cheap_spec, expensive_spec
+from .link import (
+    BandwidthClass,
+    Link,
+    LinkSpec,
+    cheap_spec,
+    expensive_spec,
+    link_pressure,
+)
 from .message import DEFAULT_SIZE_BITS, DEFAULT_TTL, Packet, Payload, RawPayload, make_packet
 from .pathdiag import RouteTrace, routes_overview, trace_route
 from .routing import (
@@ -84,6 +91,7 @@ __all__ = [
     "host_group",
     "latency_metric",
     "line_topology",
+    "link_pressure",
     "make_packet",
     "random_topology",
     "server_id",

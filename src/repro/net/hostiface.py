@@ -72,6 +72,17 @@ class HostPort:
         """This host's wall-clock reading (true time if clocks are ideal)."""
         return self.network.local_time(self.host_id)
 
+    def queue_length(self) -> int:
+        """Outbound packets queued or in flight on the access link.
+
+        This is the one piece of *local* congestion feedback a real
+        host has for free — the depth of its own NIC/driver queue.  It
+        deliberately reveals nothing about the rest of the network
+        (consistent with the paper's no-feedback service model); the
+        bounded-resource layer uses it for outbound load shedding.
+        """
+        return self.access_link.queue_length(self._name)
+
     # -- sending ----------------------------------------------------------
 
     def send(self, dst: HostId, payload: Payload) -> None:

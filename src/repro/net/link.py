@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..sim import Counter, Event, Simulator, TimeSeries
 from .addressing import LinkId
@@ -102,6 +102,10 @@ class _Direction:
 
     busy_until: float = 0.0
     outstanding: int = 0
+    #: high-water mark of ``outstanding`` over the link's lifetime
+    peak: int = 0
+    #: packets dropped by this direction's drop-tail queue
+    overflows: int = 0
     #: in-flight delivery events; a dict (not a set) so removal is O(1)
     #: while iteration order stays deterministic (insertion order)
     pending: Dict[Event, None] = field(default_factory=dict)
@@ -133,6 +137,7 @@ class Link:
         self._c_total: Optional[Counter] = None
         self._c_link: Optional[Counter] = None
         self._c_expensive: Optional[Counter] = None
+        self._c_overflow_link: Optional[Counter] = None
         #: kind -> (kind counter, expensive-kind counter or None)
         self._kind_counters: Dict[str, Tuple[Counter, Optional[Counter]]] = {}
 
@@ -181,6 +186,14 @@ class Link:
         """Packets queued or in flight in the given direction."""
         return self._directions[from_node].outstanding
 
+    def queue_peak(self, from_node: str) -> int:
+        """High-water mark of the directional queue over the run."""
+        return self._directions[from_node].peak
+
+    def overflow_count(self, from_node: str) -> int:
+        """Drop-tail overflows in the given direction over the run."""
+        return self._directions[from_node].overflows
+
     def transmit(self, packet: Packet, from_node: str, deliver: DeliverFn) -> None:
         """Send ``packet`` from ``from_node``; the far end gets ``deliver(packet)``.
 
@@ -201,9 +214,18 @@ class Link:
             return
         if self._directions[from_node].outstanding >= self.spec.queue_limit:
             # Drop-tail: the switch buffer for this direction is full.
+            # Overflow is attributed per link *and* per direction so
+            # saturation experiments can point at the guilty trunk.
+            self._directions[from_node].overflows += 1
             self.sim.trace.emit("link.drop_overflow", str(self.link_id),
-                                packet=packet.packet_id, payload_kind=packet.kind)
+                                packet=packet.packet_id, payload_kind=packet.kind,
+                                from_node=from_node)
             metrics.counter("net.drop.overflow").inc()
+            overflow = self._c_overflow_link
+            if overflow is None:
+                overflow = self._c_overflow_link = metrics.counter(
+                    f"net.drop.overflow.link.{self.link_id}")
+            overflow.inc()
             return
 
         spec = self.spec
@@ -240,6 +262,8 @@ class Link:
             delay += self._rng.uniform(0.0, spec.reorder_jitter)
 
         direction.outstanding += 1
+        if direction.outstanding > direction.peak:
+            direction.peak = direction.outstanding
         series = direction.series
         if series is None:
             series = direction.series = metrics.series(direction.series_name)
@@ -251,6 +275,8 @@ class Link:
             self.sim.trace.emit("link.dup", str(self.link_id), packet=packet.packet_id)
             metrics.counter("net.dup").inc()
             direction.outstanding += 1
+            if direction.outstanding > direction.peak:
+                direction.peak = direction.outstanding
             self._schedule_delivery(dup, direction, delay + self.tx_time(packet),
                                     deliver)
 
@@ -278,3 +304,30 @@ class Link:
 def endpoints(link: Link) -> Tuple[str, str]:
     """The two endpoint node names of a link."""
     return (link.link_id.a, link.link_id.b)
+
+
+def link_pressure(links: Iterable[Link]) -> List[Dict[str, object]]:
+    """Per-direction pressure summary over a set of links.
+
+    One row per link direction that saw any traffic or drops: peak
+    queue depth (high-water mark of the drop-tail buffer), overflow
+    count, and the configured limit.  The continuous time-series lives
+    in the ``linkq.<link>.<node>`` metrics; this is the compact form
+    experiment summaries embed.  Rows are sorted by overflow count then
+    peak, worst first, so the guilty trunk tops the table.
+    """
+    rows: List[Dict[str, object]] = []
+    for link in links:
+        for node in endpoints(link):
+            peak = link.queue_peak(node)
+            overflows = link.overflow_count(node)
+            if peak == 0 and overflows == 0:
+                continue
+            rows.append({
+                "link": str(link.link_id), "from_node": node,
+                "queue_peak": peak, "overflows": overflows,
+                "queue_limit": link.spec.queue_limit,
+            })
+    rows.sort(key=lambda r: (-int(r["overflows"]), -int(r["queue_peak"]),  # type: ignore[call-overload]
+                             str(r["link"]), str(r["from_node"])))
+    return rows

@@ -225,6 +225,42 @@ def _run_e21_adversarial(quick: bool, seed: int) -> ScenarioRun:
                              "messages": n, "heal_by": heal_by})
 
 
+def _run_e25_saturation(quick: bool, seed: int) -> ScenarioRun:
+    """E25-shaped workload: open-loop overload on the shedding tree.
+
+    Bursty arrivals at roughly twice the trunk's sustainable rate, with
+    bounded buffers, load shedding, and admission control all switched
+    on — the hot paths this scenario keeps honest are the per-send
+    queue-depth check, store/fill-table eviction, and the token bucket.
+    """
+    from ..core import BroadcastSystem, ProtocolConfig, ResourceConfig
+    from ..experiments.saturation import CountingSource, schedule_open_loop
+    from ..net import wan_of_lans
+
+    clusters, hosts = (2, 2) if quick else (3, 2)
+    duration = 10.0 if quick else 25.0
+    rate = 12.0  # the tree sustains ~6 msg/s on 56 kbit/s trunks
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=clusters, hosts_per_cluster=hosts,
+                        backbone="line")
+    config = ProtocolConfig.for_scale(
+        clusters * hosts, data_size_bits=_DATA_BITS,
+        resources=ResourceConfig(store_limit=64, fill_table_limit=512,
+                                 outbound_queue_limit=32,
+                                 admission_rate=6.0, admission_burst=8))
+    system = BroadcastSystem(built, config=config).start()
+    counting = CountingSource(system.source)
+    schedule_open_loop(sim, counting, "bursty", rate=rate,
+                       duration=duration, start_at=2.0)
+    sim.run(until=2.0 + duration)
+    system.run_until_delivered(counting.admitted, timeout=240.0)
+    return ScenarioRun(sim=sim, system=system,
+                       meta={"clusters": clusters, "hosts_per_cluster": hosts,
+                             "offered": counting.offered,
+                             "admitted": counting.admitted,
+                             "rate": rate, "duration": duration})
+
+
 #: the pinned matrix, in execution order
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
@@ -244,5 +280,8 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("e21_adversarial",
                  "adaptive control plane under packet chaos (E21 shape)",
                  _run_e21_adversarial, default_seed=21),
+        Scenario("e25_saturation",
+                 "open-loop overload on the shedding tree (E25 shape)",
+                 _run_e25_saturation, default_seed=25),
     )
 }

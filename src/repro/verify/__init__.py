@@ -22,6 +22,12 @@ from .invariants import (
 from .liveness import OpportunityAuditor, ReliabilityReport
 from .monitor import InvariantMonitor, MonitorReport, ViolationSpan
 from .oracle import run_to_quiescence
+from .overload import (
+    OVERLOAD_VERDICTS,
+    OverloadMonitor,
+    OverloadReport,
+    OverloadSample,
+)
 
 __all__ = [
     "CONTAINMENT_STATUSES",
@@ -40,6 +46,10 @@ __all__ = [
     "find_parent_cycles",
     "InvariantMonitor",
     "MonitorReport",
+    "OVERLOAD_VERDICTS",
+    "OverloadMonitor",
+    "OverloadReport",
+    "OverloadSample",
     "OpportunityAuditor",
     "ReliabilityReport",
     "run_to_quiescence",

@@ -1,0 +1,170 @@
+"""Overload oracle: graceful-degradation verdicts for saturation runs.
+
+The §4.3 invariants say nothing about load; under open-loop overload
+the interesting question is not "did an invariant break" but "did the
+system *degrade or collapse*".  :class:`OverloadMonitor` samples the
+ground truth the protocol never sees — every link direction's queue
+depth and every host's message-store size — and classifies the run:
+
+``stable``
+    queues never left the noise floor and every admitted message was
+    delivered;
+``degraded_recovering``
+    queues grew past :attr:`degrade_threshold` under load but drained
+    back to baseline after the load window, and delivery of admitted
+    messages still completed — the graceful-degradation outcome
+    shedding and backpressure exist to buy;
+``collapsed``
+    admitted messages were still missing at the horizon, or queues
+    never drained — the unbounded-growth failure mode.
+
+The monitor also carries the **bounded-memory invariant**: offered
+load below capacity ⇒ queue depths return to baseline once the load
+stops (:attr:`OverloadReport.bounded_memory_ok`).
+
+Like all of :mod:`repro.verify`, this is an oracle, not a protocol
+component: it reads simulator ground truth and changes nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..net.link import endpoints
+from ..net.topology import Network
+from ..sim import PeriodicTask, Simulator
+
+#: the three possible run classifications, mildest first
+OVERLOAD_VERDICTS: Tuple[str, ...] = (
+    "stable", "degraded_recovering", "collapsed")
+
+
+@dataclass(frozen=True)
+class OverloadSample:
+    """One snapshot of system-wide buffering."""
+
+    at: float
+    #: packets queued or in flight across every link direction
+    queue_depth: int
+    #: largest per-host message-store size (0 when no system attached)
+    max_store: int
+
+
+@dataclass(frozen=True)
+class OverloadReport:
+    """Everything an :class:`OverloadMonitor` concluded about a run."""
+
+    verdict: str
+    #: every admitted message reached every (surviving) host in time
+    delivered_ok: bool
+    peak_queue: int
+    final_queue: int
+    peak_store: int
+    final_store: int
+    #: queues returned to baseline after the load window
+    drained: bool
+    #: when the offered load stopped (None: never told)
+    load_ended_at: Optional[float]
+    samples: Tuple[OverloadSample, ...]
+
+    @property
+    def bounded_memory_ok(self) -> bool:
+        """The bounded-memory invariant: depth returned to baseline."""
+        return self.drained
+
+    @property
+    def collapsed(self) -> bool:
+        return self.verdict == "collapsed"
+
+
+class OverloadMonitor:
+    """Samples queue depths and store sizes; classifies the run.
+
+    ``degrade_threshold`` separates ``stable`` from
+    ``degraded_recovering``: peaks at or below it are treated as the
+    ordinary jitter of a busy-but-keeping-up system.  ``drain_slack``
+    is the baseline depth the network may legitimately hold at rest
+    (periodic control chatter keeps a couple of packets in flight at
+    any instant).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        system=None,
+        sample_period: float = 1.0,
+        degrade_threshold: int = 12,
+        drain_slack: int = 6,
+    ) -> None:
+        if sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        if degrade_threshold < 1 or drain_slack < 1:
+            raise ValueError("thresholds must be at least 1")
+        self.sim = sim
+        self.network = network
+        self.system = system
+        self.degrade_threshold = degrade_threshold
+        self.drain_slack = drain_slack
+        self._samples: List[OverloadSample] = []
+        self._load_ended_at: Optional[float] = None
+        self._task = PeriodicTask(sim, sample_period, self._sample,
+                                  rng_stream="verify.overload",
+                                  name="overload_monitor")
+
+    def start(self) -> "OverloadMonitor":
+        """Start periodic activity; returns self for chaining."""
+        self._task.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop periodic activity; safe to call more than once."""
+        self._task.stop()
+
+    def note_load_end(self) -> None:
+        """Record that the offered-load window just closed."""
+        self._load_ended_at = self.sim.now
+
+    # ------------------------------------------------------------------
+
+    def _queue_depth(self) -> int:
+        return sum(link.queue_length(node)
+                   for link in self.network.links.values()
+                   for node in endpoints(link))
+
+    def _max_store(self) -> int:
+        if self.system is None:
+            return 0
+        sizes = [len(store) for host in self.system.hosts.values()
+                 if (store := getattr(host, "store", None)) is not None]
+        return max(sizes, default=0)
+
+    def _sample(self) -> None:
+        self._samples.append(OverloadSample(
+            at=self.sim.now, queue_depth=self._queue_depth(),
+            max_store=self._max_store()))
+
+    # ------------------------------------------------------------------
+
+    def report(self, delivered_ok: bool) -> OverloadReport:
+        """Classify the run.  ``delivered_ok``: every admitted message
+        reached every surviving host within the caller's horizon."""
+        final = OverloadSample(at=self.sim.now, queue_depth=self._queue_depth(),
+                               max_store=self._max_store())
+        samples = tuple(self._samples) + (final,)
+        peak_queue = max(s.queue_depth for s in samples)
+        peak_store = max(s.max_store for s in samples)
+        drained = final.queue_depth <= self.drain_slack
+        if not delivered_ok or not drained:
+            verdict = "collapsed"
+        elif peak_queue > self.degrade_threshold:
+            verdict = "degraded_recovering"
+        else:
+            verdict = "stable"
+        return OverloadReport(
+            verdict=verdict, delivered_ok=delivered_ok,
+            peak_queue=peak_queue, final_queue=final.queue_depth,
+            peak_store=peak_store, final_store=final.max_store,
+            drained=drained, load_ended_at=self._load_ended_at,
+            samples=samples)

@@ -38,6 +38,20 @@ class TestDelayStats:
         assert stats.p50 == 2.5
         assert stats.max == 4.0
 
+    def test_empty_p999_is_nan(self):
+        assert math.isnan(delay_stats([]).p999)
+
+    def test_percentiles_are_ordered_and_serialized(self):
+        stats = delay_stats([float(v) for v in range(1, 1001)])
+        assert stats.p50 <= stats.p95 <= stats.p99 <= stats.p999 <= stats.max
+        assert stats.p999 == pytest.approx(999.001)
+        assert stats.as_dict()["p999"] == stats.p999
+
+    def test_p999_separates_the_extreme_tail_from_p99(self):
+        values = [1.0] * 998 + [50.0, 1000.0]
+        stats = delay_stats(values)
+        assert stats.p99 < 50.0 < stats.p999
+
     def test_system_stats_exclude_source(self):
         records = {
             SRC: [rec(1, delivered=0.0)],

@@ -1,0 +1,70 @@
+"""Small, tier-1-sized E25 run: saturation verdicts and the shedding flip.
+
+The full sweep covers four protocols x shapes x utilizations; the fast
+suite (and the CI saturation smoke leg) pins only the load-bearing
+claims: past saturation the unbounded tree *collapses* while the same
+protocol with bounded resources, shedding, and admission control comes
+back (*degraded_recovering*); latency percentiles are ordered; shedding
+and rejection really engaged; and the sweep is deterministic.
+"""
+
+import math
+
+from repro.experiments import get_spec, run_e25_saturation
+
+POINTS = dict(shapes=("poisson",), utilizations=(0.4, 3.0),
+              protocols=("tree", "tree+shed"))
+
+
+def _rows():
+    result = run_e25_saturation(**POINTS)
+    return result, {(r["protocol"], r["util"], r["churn"]): r
+                    for r in result.rows}
+
+
+def test_e25_small_shedding_flips_collapse_to_recovery():
+    result, rows = _rows()
+    # 2 protocols x 1 shape x 2 utilizations, plus the churn point.
+    assert len(result.rows) == 5
+
+    collapsed = rows[("tree", 3.0, "-")]
+    assert collapsed["verdict"] == "collapsed"
+    assert not collapsed["delivered_ok"]
+    assert collapsed["slo"] != "pass"
+    assert collapsed["worst_link"] != "-"  # drop-tail overflow engaged
+
+    recovered = rows[("tree+shed", 3.0, "-")]
+    assert recovered["verdict"] == "degraded_recovering"
+    assert recovered["delivered_ok"]
+    assert recovered["rejected"] > 0  # admission control pushed back
+    assert recovered["admitted"] < recovered["offered"]
+    assert recovered["shed"] > 0  # bounded buffers really evicted
+
+    # Below saturation, shedding changes nothing: identical verdicts
+    # and identical latency, because no limit is ever hit.
+    mild_tree = rows[("tree", 0.4, "-")]
+    mild_shed = rows[("tree+shed", 0.4, "-")]
+    assert mild_tree["verdict"] == "stable"
+    assert mild_shed["verdict"] == "stable"
+    assert mild_tree["p999_s"] == mild_shed["p999_s"]
+
+    # Overload composed with E20-style churn still recovers with
+    # shedding on, at a (reported) tail-latency cost.
+    churned = rows[("tree+shed", 3.0, "yes")]
+    assert churned["verdict"] in ("degraded_recovering", "stable")
+    assert churned["delivered_ok"]
+
+
+def test_e25_small_percentiles_are_ordered():
+    result, _ = _rows()
+    for row in result.rows:
+        p50, p99, p999 = row["p50_s"], row["p99_s"], row["p999_s"]
+        if not math.isnan(p50):
+            assert p50 <= p99 <= p999
+
+
+def test_e25_small_is_deterministic_and_registered():
+    a, _ = _rows()
+    b, _ = _rows()
+    assert a.rows == b.rows
+    assert get_spec("E25").runner is run_e25_saturation

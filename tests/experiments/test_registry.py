@@ -65,9 +65,10 @@ class TestSpecIntrospection:
 
 class TestRegistry:
     def test_all_e_series_registered(self):
-        for exp_id in ("E1", "E2", "E6b", "E12", "E21", "E22", "E23", "E24"):
+        for exp_id in ("E1", "E2", "E6b", "E12", "E21", "E22", "E23", "E24",
+                       "E25"):
             assert exp_id in REGISTRY
-        assert len(REGISTRY) == 25
+        assert len(REGISTRY) == 26
 
     def test_specs_know_their_runner_defaults(self):
         spec = get_spec("E2")

@@ -1,0 +1,118 @@
+"""Tests for the overload oracle's three verdicts."""
+
+import pytest
+
+from repro.net import (
+    HostId,
+    Network,
+    RawPayload,
+    expensive_spec,
+)
+from repro.sim import Simulator
+from repro.verify import OVERLOAD_VERDICTS, OverloadMonitor
+
+
+def build_link_pair(queue_limit=64):
+    sim = Simulator(seed=2)
+    network = Network(sim)
+    network.add_server("a")
+    network.add_server("b")
+    network.connect("a", "b", expensive_spec(queue_limit=queue_limit))
+    x, y = HostId("x"), HostId("y")
+    network.add_host(x, "a")
+    network.add_host(y, "b")
+    network.use_global_routing(convergence_delay=0.0)
+    return sim, network
+
+
+def flood(network, count, size_bits=8_000):
+    port = network.host_port(HostId("x"))
+    for _ in range(count):
+        port.send(HostId("y"), RawPayload(size_bits=size_bits))
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        sim, network = build_link_pair()
+        with pytest.raises(ValueError):
+            OverloadMonitor(sim, network, sample_period=0.0)
+        with pytest.raises(ValueError):
+            OverloadMonitor(sim, network, degrade_threshold=0)
+        with pytest.raises(ValueError):
+            OverloadMonitor(sim, network, drain_slack=0)
+
+
+class TestVerdicts:
+    def test_idle_run_is_stable(self):
+        sim, network = build_link_pair()
+        monitor = OverloadMonitor(sim, network).start()
+        sim.run(until=20.0)
+        monitor.stop()
+        report = monitor.report(delivered_ok=True)
+        assert report.verdict == "stable"
+        assert report.peak_queue == 0
+        assert report.bounded_memory_ok
+        assert len(report.samples) >= 20
+
+    def test_queue_spike_that_drains_is_degraded_recovering(self):
+        sim, network = build_link_pair()
+        monitor = OverloadMonitor(sim, network, degrade_threshold=12).start()
+        sim.schedule_at(2.0, lambda: flood(network, 40))
+        sim.run(until=5.0)
+        monitor.note_load_end()
+        sim.run(until=60.0)  # 40 packets * ~0.14s each: fully drained
+        monitor.stop()
+        report = monitor.report(delivered_ok=True)
+        assert report.verdict == "degraded_recovering"
+        assert report.peak_queue > 12
+        assert report.drained
+        assert report.load_ended_at == pytest.approx(5.0)
+
+    def test_missing_deliveries_mean_collapsed(self):
+        sim, network = build_link_pair()
+        monitor = OverloadMonitor(sim, network).start()
+        sim.run(until=10.0)
+        monitor.stop()
+        report = monitor.report(delivered_ok=False)
+        assert report.verdict == "collapsed"
+        assert report.collapsed
+
+    def test_undrained_queues_mean_collapsed(self):
+        sim, network = build_link_pair()
+        monitor = OverloadMonitor(sim, network).start()
+        sim.schedule_at(2.0, lambda: flood(network, 50))
+        sim.run(until=3.0)  # stop mid-backlog: queue still deep
+        monitor.stop()
+        report = monitor.report(delivered_ok=True)
+        assert report.final_queue > monitor.drain_slack
+        assert report.verdict == "collapsed"
+        assert not report.bounded_memory_ok
+
+    def test_verdicts_enumerated(self):
+        assert OVERLOAD_VERDICTS == (
+            "stable", "degraded_recovering", "collapsed")
+
+
+class TestStoreSampling:
+    def test_max_store_tracks_attached_system(self):
+        from repro.core import BroadcastSystem, ProtocolConfig
+        from repro.net import wan_of_lans
+
+        sim = Simulator(seed=4)
+        built = wan_of_lans(sim, clusters=2, hosts_per_cluster=2,
+                            backbone="line")
+        system = BroadcastSystem(
+            built, config=ProtocolConfig(data_size_bits=4_000)).start()
+        monitor = OverloadMonitor(sim, built.network, system=system).start()
+        system.broadcast_stream(6, interval=0.5, start_at=2.0)
+        assert system.run_until_delivered(6, timeout=60.0)
+        monitor.stop()
+        report = monitor.report(delivered_ok=True)
+        assert report.peak_store >= 6  # the source outbox alone holds 6
+
+    def test_without_system_store_is_zero(self):
+        sim, network = build_link_pair()
+        monitor = OverloadMonitor(sim, network).start()
+        sim.run(until=5.0)
+        monitor.stop()
+        assert monitor.report(delivered_ok=True).peak_store == 0

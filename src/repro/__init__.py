@@ -20,6 +20,8 @@ Layers (each its own subpackage):
 * :mod:`repro.sim` — deterministic discrete-event kernel
 * :mod:`repro.net` — servers, links, routing, failures, topologies
 * :mod:`repro.core` — the paper's protocol (the contribution)
+* :mod:`repro.io` — sans-IO seam: Runtime/Transport contracts, the
+  sim adapters, and the real asyncio/UDP backend
 * :mod:`repro.baseline` — the basic algorithm and epidemic gossip
 * :mod:`repro.analysis` — cost/delay/reliability measurement
 * :mod:`repro.verify` — invariant oracles

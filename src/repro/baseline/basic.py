@@ -22,8 +22,10 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.delivery import DeliverCallback, DeliveryRecord
 from ..core.wire import KIND_CONTROL, DataMsg
+from ..io.interfaces import PeriodicHandle
+from ..io.simbackend import SimRuntime
 from ..net import BuiltTopology, HostId, Packet
-from ..sim import PeriodicTask, Simulator
+from ..sim import Simulator
 from .common import BaselineHostBase
 
 
@@ -83,8 +85,8 @@ class BasicReceiver(BaselineHostBase):
 
     def _on_packet(self, packet: Packet) -> None:
         if self.crashed:
-            self.sim.trace.emit("host.drop_crashed", str(self.me))
-            self.sim.metrics.counter("proto.host.drop_crashed").inc()
+            self.runtime.trace("host.drop_crashed", str(self.me))
+            self.runtime.counter("proto.host.drop_crashed").inc()
             return
         payload = packet.payload
         if isinstance(payload, DataMsg):
@@ -106,8 +108,8 @@ class BasicSource(BaselineHostBase):
         #: outstanding (host, seq) pairs awaiting acknowledgment
         self.unacked: Set[Tuple[HostId, int]] = set()
         port.set_receiver(self._on_packet)
-        self._retry_task = PeriodicTask(
-            sim, config.retry_period, self._retry_tick,
+        self._retry_task: PeriodicHandle = self.runtime.start_periodic(
+            config.retry_period, self._retry_tick,
             jitter=config.retry_period * 0.1,
             rng_stream=f"basic.{self.me}.retry", name="basic_retry")
 
@@ -150,15 +152,15 @@ class BasicSource(BaselineHostBase):
         """Send one new message: a separately addressed copy per host."""
         seq = self._next_seq
         self._next_seq += 1
-        msg = DataMsg(seq=seq, content=content, created_at=self.sim.now,
+        msg = DataMsg(seq=seq, content=content, created_at=self.runtime.now(),
                       origin=self.me, size_bits=self.config.data_size_bits)
         self.store[seq] = msg
         self.deliveries.record(DeliveryRecord(
-            seq=seq, content=content, created_at=self.sim.now,
-            delivered_at=self.sim.now, supplier=self.me, via_gapfill=False))
-        self.sim.trace.emit("source.broadcast", str(self.me), seq=seq,
+            seq=seq, content=content, created_at=self.runtime.now(),
+            delivered_at=self.runtime.now(), supplier=self.me, via_gapfill=False))
+        self.runtime.trace("source.broadcast", str(self.me), seq=seq,
                             while_crashed=self.crashed)
-        self.sim.metrics.counter("proto.source.broadcasts").inc()
+        self.runtime.counter("proto.source.broadcasts").inc()
         for host in self.receivers:
             if not self.crashed:
                 self.port.send(host, msg)
@@ -167,8 +169,8 @@ class BasicSource(BaselineHostBase):
 
     def _on_packet(self, packet: Packet) -> None:
         if self.crashed:
-            self.sim.trace.emit("host.drop_crashed", str(self.me))
-            self.sim.metrics.counter("proto.host.drop_crashed").inc()
+            self.runtime.trace("host.drop_crashed", str(self.me))
+            self.runtime.counter("proto.host.drop_crashed").inc()
             return
         payload = packet.payload
         if isinstance(payload, AckMsg):
@@ -185,8 +187,8 @@ class BasicSource(BaselineHostBase):
                 seq=msg.seq, content=msg.content, created_at=msg.created_at,
                 origin=msg.origin, gapfill=True,
                 size_bits=self.config.data_size_bits))
-            self.sim.metrics.counter("basic.retransmissions").inc()
-            self.sim.trace.emit("basic.retry", str(self.me), target=str(host),
+            self.runtime.counter("basic.retransmissions").inc()
+            self.runtime.trace("basic.retry", str(self.me), target=str(host),
                                 seq=seq)
 
 
@@ -211,15 +213,16 @@ class BasicBroadcastSystem:
         self.source_id = source if source is not None else built.source
         if self.source_id not in built.hosts:
             raise ValueError(f"source {self.source_id} is not a topology host")
+        self.runtime = SimRuntime(self.sim)
         self.hosts: Dict[HostId, BaselineHostBase] = {}
         for host_id in built.hosts:
             port = self.network.host_port(host_id)
             if host_id == self.source_id:
                 self.hosts[host_id] = BasicSource(
-                    self.sim, port, built.hosts, self.config, deliver_callback)
+                    self.runtime, port, built.hosts, self.config, deliver_callback)
             else:
                 self.hosts[host_id] = BasicReceiver(
-                    self.sim, port, self.source_id, self.config, deliver_callback)
+                    self.runtime, port, self.source_id, self.config, deliver_callback)
 
     @property
     def source(self) -> BasicSource:
@@ -276,11 +279,11 @@ class BasicBroadcastSystem:
         check_period: float = 0.5,
     ) -> bool:
         """Run until 1..n reach all (given) hosts or ``timeout`` elapses."""
-        deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
+        deadline = self.runtime.now() + timeout
+        while self.runtime.now() < deadline:
             if self.all_delivered(n, hosts):
                 return True
-            self.sim.run(until=min(self.sim.now + check_period, deadline))
+            self.sim.run(until=min(self.runtime.now() + check_period, deadline))
         return self.all_delivered(n, hosts)
 
     def delivery_records(self):

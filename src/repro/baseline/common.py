@@ -12,8 +12,8 @@ from typing import Dict, Optional
 
 from ..core.delivery import DeliverCallback, DeliveryLog, DeliveryRecord
 from ..core.wire import DataMsg
-from ..net import HostId, HostPort
-from ..sim import Simulator
+from ..io.interfaces import Runtime, Transport, as_runtime
+from ..net import HostId
 
 
 class BaselineHostBase:
@@ -21,11 +21,17 @@ class BaselineHostBase:
 
     def __init__(
         self,
-        sim: Simulator,
-        port: HostPort,
+        sim: object,
+        port: Transport,
         deliver_callback: Optional[DeliverCallback] = None,
     ) -> None:
-        self.sim = sim
+        """``sim`` accepts either a :class:`~repro.io.interfaces.Runtime`
+        or a bare :class:`~repro.sim.kernel.Simulator` (wrapped on the
+        fly); the parameter keeps its historic name."""
+        self.runtime: Runtime = as_runtime(sim)
+        #: the underlying simulator when running in-sim; None on real
+        #: backends (sim-side tooling may reach through this)
+        self.sim = getattr(self.runtime, "sim", None)
         self.port = port
         self.me = port.host_id
         self.deliveries = DeliveryLog(self.me, deliver_callback)
@@ -39,23 +45,23 @@ class BaselineHostBase:
     def accept_data(self, msg: DataMsg, supplier: HostId) -> bool:
         """Record a data message; returns False for duplicates."""
         if msg.seq in self.deliveries:
-            self.sim.metrics.counter("proto.data.discard.duplicate").inc()
+            self.runtime.counter("proto.data.discard.duplicate").inc()
             return False
         self.store[msg.seq] = msg
         self.deliveries.record(DeliveryRecord(
             seq=msg.seq, content=msg.content, created_at=msg.created_at,
-            delivered_at=self.sim.now, supplier=supplier,
+            delivered_at=self.runtime.now(), supplier=supplier,
             via_gapfill=msg.gapfill))
-        self.sim.trace.emit("host.deliver", str(self.me), seq=msg.seq,
+        self.runtime.trace("host.deliver", str(self.me), seq=msg.seq,
                             sender=str(supplier), gapfill=msg.gapfill)
-        self.sim.metrics.counter("proto.deliver").inc()
-        self.sim.metrics.histogram("proto.delay").observe(
-            self.sim.now - msg.created_at)
+        self.runtime.counter("proto.deliver").inc()
+        self.runtime.histogram("proto.delay").observe(
+            self.runtime.now() - msg.created_at)
         if self._awaiting_recovery_delivery:
             self._awaiting_recovery_delivery = False
-            elapsed = self.sim.now - (self._crashed_at or 0.0)
-            self.sim.metrics.histogram("proto.host.recovery_time").observe(elapsed)
-            self.sim.trace.emit("host.recovery_delivery", str(self.me),
+            elapsed = self.runtime.now() - (self._crashed_at or 0.0)
+            self.runtime.histogram("proto.host.recovery_time").observe(elapsed)
+            self.runtime.trace("host.recovery_delivery", str(self.me),
                                 elapsed=elapsed, seq=msg.seq)
         return True
 
@@ -82,15 +88,15 @@ class BaselineHostBase:
         if self.crashed:
             return
         self.crashed = True
-        self._crashed_at = self.sim.now
+        self._crashed_at = self.runtime.now()
         self._awaiting_recovery_delivery = False
         stable = self._stable_prefix()
         lost = self.deliveries.forget_above(stable)
         for seq in [s for s in self.store if s > stable]:
             del self.store[seq]
-        self.sim.trace.emit("host.crash", str(self.me),
+        self.runtime.trace("host.crash", str(self.me),
                             stable_prefix=stable, lost=lost)
-        self.sim.metrics.counter("proto.host.crash").inc()
+        self.runtime.counter("proto.host.crash").inc()
 
     def recover(self) -> None:
         """Recover from a crash; no-op when the host is up."""
@@ -98,7 +104,7 @@ class BaselineHostBase:
             return
         self.crashed = False
         self._awaiting_recovery_delivery = True
-        down_for = (self.sim.now - self._crashed_at
+        down_for = (self.runtime.now() - self._crashed_at
                     if self._crashed_at is not None else 0.0)
-        self.sim.trace.emit("host.recover", str(self.me), down_for=down_for)
-        self.sim.metrics.counter("proto.host.recover").inc()
+        self.runtime.trace("host.recover", str(self.me), down_for=down_for)
+        self.runtime.counter("proto.host.recover").inc()

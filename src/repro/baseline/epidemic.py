@@ -26,8 +26,9 @@ from typing import Callable, Dict, List, Optional
 from ..core.delivery import DeliverCallback, DeliveryRecord
 from ..core.seqnoset import SeqnoSet
 from ..core.wire import KIND_CONTROL, DataMsg
+from ..io.simbackend import SimRuntime
 from ..net import BuiltTopology, HostId, Packet
-from ..sim import PeriodicTask, Simulator
+from ..sim import Simulator
 from .common import BaselineHostBase
 
 
@@ -81,10 +82,10 @@ class EpidemicHost(BaselineHostBase):
         self.participants = sorted(h for h in participants if h != self.me)
         self.config = config
         self.info = SeqnoSet()
-        self._rng = sim.rng.stream(f"epidemic.{self.me}")
+        self._rng = self.runtime.rng(f"epidemic.{self.me}")
         port.set_receiver(self._on_packet)
-        self._sync_task = PeriodicTask(
-            sim, config.sync_period, self._sync_tick,
+        self._sync_task = self.runtime.start_periodic(
+            config.sync_period, self._sync_tick,
             jitter=config.sync_period * 0.2,
             rng_stream=f"epidemic.{self.me}.sync", name="epidemic_sync")
 
@@ -106,7 +107,7 @@ class EpidemicHost(BaselineHostBase):
                 self.info.add(payload.seq)
                 self.accept_data(payload, packet.src)
             else:
-                self.sim.metrics.counter("proto.data.discard.duplicate").inc()
+                self.runtime.counter("proto.data.discard.duplicate").inc()
         elif isinstance(payload, Digest):
             self._answer_digest(payload, packet.src)
 
@@ -121,7 +122,7 @@ class EpidemicHost(BaselineHostBase):
                     seq=msg.seq, content=msg.content,
                     created_at=msg.created_at, origin=msg.origin,
                     gapfill=True, size_bits=self.config.data_size_bits))
-                self.sim.metrics.counter("epidemic.pushed").inc()
+                self.runtime.counter("epidemic.pushed").inc()
         # Pull: reply with our digest once so the partner can push back.
         if not digest.reply:
             self.port.send(sender, Digest(
@@ -134,7 +135,7 @@ class EpidemicHost(BaselineHostBase):
         partner = self.participants[self._rng.randrange(len(self.participants))]
         self.port.send(partner, Digest(sender=self.me, info=self.info,
                                        size_bits=self.config.digest_size_bits))
-        self.sim.metrics.counter("epidemic.syncs").inc()
+        self.runtime.counter("epidemic.syncs").inc()
 
 
 class EpidemicSource(EpidemicHost):
@@ -148,14 +149,14 @@ class EpidemicSource(EpidemicHost):
         """Issue one new broadcast message; returns its sequence number."""
         seq = self._next_seq
         self._next_seq += 1
-        msg = DataMsg(seq=seq, content=content, created_at=self.sim.now,
+        msg = DataMsg(seq=seq, content=content, created_at=self.runtime.now(),
                       origin=self.me, size_bits=self.config.data_size_bits)
         self.info.add(seq)
         self.store[seq] = msg
         self.deliveries.record(DeliveryRecord(
-            seq=seq, content=content, created_at=self.sim.now,
-            delivered_at=self.sim.now, supplier=self.me, via_gapfill=False))
-        self.sim.metrics.counter("proto.source.broadcasts").inc()
+            seq=seq, content=content, created_at=self.runtime.now(),
+            delivered_at=self.runtime.now(), supplier=self.me, via_gapfill=False))
+        self.runtime.counter("proto.source.broadcasts").inc()
         # Rumor mongering: eager push to a few random hosts.
         if self.participants and self.config.fanout:
             count = min(self.config.fanout, len(self.participants))
@@ -179,11 +180,12 @@ class EpidemicBroadcastSystem:
         self.sim: Simulator = built.network.sim
         self.config = config or EpidemicConfig()
         self.source_id = source if source is not None else built.source
+        self.runtime = SimRuntime(self.sim)
         self.hosts: Dict[HostId, EpidemicHost] = {}
         for host_id in built.hosts:
             cls = EpidemicSource if host_id == self.source_id else EpidemicHost
             self.hosts[host_id] = cls(
-                self.sim, self.network.host_port(host_id), built.hosts,
+                self.runtime, self.network.host_port(host_id), built.hosts,
                 self.config, deliver_callback)
 
     @property
@@ -231,11 +233,11 @@ class EpidemicBroadcastSystem:
         check_period: float = 0.5,
     ) -> bool:
         """Run until 1..n reach all (given) hosts or ``timeout`` elapses."""
-        deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
+        deadline = self.runtime.now() + timeout
+        while self.runtime.now() < deadline:
             if self.all_delivered(n, hosts):
                 return True
-            self.sim.run(until=min(self.sim.now + check_period, deadline))
+            self.sim.run(until=min(self.runtime.now() + check_period, deadline))
         return self.all_delivered(n, hosts)
 
     def delivery_records(self):

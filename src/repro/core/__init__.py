@@ -1,12 +1,25 @@
 """The paper's contribution: the reliable broadcast protocol.
 
-Public surface:
+Stable public surface (``__all__``):
 
 * :class:`BroadcastSystem` — assemble the protocol over a topology.
-* :class:`BroadcastHost` / :class:`SourceHost` — per-host agents.
-* :class:`ProtocolConfig` / :class:`ClusterMode` — tuning knobs.
+* :class:`BroadcastHost` / :class:`SourceHost` — the sans-IO protocol
+  machines; they depend only on the :class:`repro.io.interfaces.Runtime`
+  and :class:`~repro.io.interfaces.Transport` contracts, so the same
+  classes run in-sim and over real sockets.
+* :class:`MultiSourceBroadcastSystem` — several identical single-source
+  protocols multiplexed over one network.
+* :class:`ProtocolConfig` / :class:`ClusterMode` / :class:`CostBitMode`
+  / :class:`ResourceConfig` — tuning knobs.
 * :class:`SeqnoSet` and the INFO partial order — the data structures.
+* The wire vocabulary (:class:`DataMsg`, :class:`InfoMsg`, ...).
 * :mod:`repro.core.attachment` — the attachment procedure (pure logic).
+
+Transport plumbing (:class:`PiggybackPort`, :class:`ControlBundle`,
+:class:`PortMux`, :class:`TaggedPayload`, :class:`VirtualPort`) lives in
+its canonical submodules (:mod:`repro.core.piggyback`,
+:mod:`repro.core.multisource`); the old ``repro.core.<Name>`` import
+paths keep working through a PEP 562 ``__getattr__`` deprecation shim.
 """
 
 from .attachment import (
@@ -23,9 +36,8 @@ from .delivery import DeliveryLog, DeliveryRecord
 from .engine import BroadcastSystem
 from .host import BroadcastHost
 from .mapstate import MapState
-from .multisource import MultiSourceBroadcastSystem, PortMux, TaggedPayload, VirtualPort
+from .multisource import MultiSourceBroadcastSystem
 from .ordering import FifoDeliveryAdapter
-from .piggyback import ControlBundle, PiggybackPort
 from .resources import ResourceConfig, ShedPolicy, TokenBucket
 from .rtt import CongestionSignal, ExponentialBackoff, PeerRtt, RttEstimator
 from .seqnoset import SeqnoSet, info_equiv, info_leq, info_less
@@ -42,6 +54,34 @@ from .wire import (
     corrupted_copy,
 )
 
+# Former top-level names whose canonical home is a submodule.  Importing
+# them from ``repro.core`` still works (PEP 562) but warns: they are
+# transport-layer plumbing, not protocol surface, and the Transport
+# protocol in :mod:`repro.io.interfaces` is the supported way to stack
+# or replace ports.
+_DEPRECATED = {
+    "ControlBundle": "repro.core.piggyback",
+    "PiggybackPort": "repro.core.piggyback",
+    "PortMux": "repro.core.multisource",
+    "TaggedPayload": "repro.core.multisource",
+    "VirtualPort": "repro.core.multisource",
+}
+
+
+def __getattr__(name: str):
+    module_name = _DEPRECATED.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"importing {name} from repro.core is deprecated; "
+        f"import it from {module_name} instead",
+        DeprecationWarning, stacklevel=2)
+    return getattr(importlib.import_module(module_name), name)
+
+
 __all__ = [
     "AttachAck",
     "AttachRequest",
@@ -51,7 +91,6 @@ __all__ = [
     "BroadcastSystem",
     "Candidate",
     "CongestionSignal",
-    "ControlBundle",
     "ClusterMode",
     "CostBitMode",
     "ClusterView",
@@ -68,10 +107,6 @@ __all__ = [
     "MultiSourceBroadcastSystem",
     "PeerRtt",
     "PerSenderTransitClassifier",
-    "PiggybackPort",
-    "PortMux",
-    "TaggedPayload",
-    "VirtualPort",
     "ProtocolConfig",
     "ResourceConfig",
     "RttEstimator",

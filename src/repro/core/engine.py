@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..io.simbackend import SimRuntime
 from ..net import BuiltTopology, HostId
 from ..sim import Simulator
 from .config import ClusterMode, ProtocolConfig
@@ -45,6 +46,8 @@ class BroadcastSystem:
         self.built = built
         self.network = built.network
         self.sim: Simulator = built.network.sim
+        #: the one Runtime shared by every host of this deployment
+        self.runtime = SimRuntime(self.sim)
         self.config = config or ProtocolConfig()
         self.source_id = source if source is not None else built.source
         if self.source_id not in built.hosts:
@@ -64,7 +67,7 @@ class BroadcastSystem:
         for host_id in built.hosts:
             cls = SourceHost if host_id == self.source_id else BroadcastHost
             self.hosts[host_id] = cls(
-                sim=self.sim,
+                sim=self.runtime,
                 port=port_of(host_id),
                 participants=built.hosts,
                 order=self._order.__getitem__,

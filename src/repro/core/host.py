@@ -25,8 +25,14 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..net import HostId, HostPort, Packet
-from ..sim import PeriodicTask, Simulator, Timer
+from ..io.interfaces import (
+    PeriodicHandle,
+    Runtime,
+    TimerHandle,
+    Transport,
+    as_runtime,
+)
+from ..net import HostId, Packet
 from .attachment import AttachmentView, Candidate, plan_attachment
 from .cluster import ClusterView
 from .config import ClusterMode, CostBitMode, ProtocolConfig
@@ -66,15 +72,22 @@ class BroadcastHost:
 
     def __init__(
         self,
-        sim: Simulator,
-        port: HostPort,
+        sim: object,
+        port: Transport,
         participants: Sequence[HostId],
         order: OrderFn,
         config: Optional[ProtocolConfig] = None,
         static_cluster: Optional[Set[HostId]] = None,
         deliver_callback: Optional[DeliverCallback] = None,
     ) -> None:
-        self.sim = sim
+        """``sim`` accepts either a :class:`~repro.io.interfaces.Runtime`
+        or a bare :class:`~repro.sim.kernel.Simulator` (wrapped on the
+        fly); the parameter keeps its historic name so existing keyword
+        call sites stay valid."""
+        self.runtime: Runtime = as_runtime(sim)
+        #: the underlying simulator when running in-sim; None on real
+        #: backends (tests and sim-side tooling may reach through this)
+        self.sim = getattr(self.runtime, "sim", None)
         self.port = port
         self.me = port.host_id
         self.config = config or ProtocolConfig()
@@ -127,12 +140,12 @@ class BroadcastHost:
         self._attach_backoff = ExponentialBackoff(
             self.config.attach_backoff_base, self.config.attach_backoff_cap,
             self.config.backoff_jitter_frac,
-            sim.rng.stream(f"host.{self.me}.attach_backoff"))
+            self.runtime.rng(f"host.{self.me}.attach_backoff"))
         self._gapfill_backoff = ExponentialBackoff(
             self.config.gapfill_nonneighbor_period,
             self.config.gapfill_nonneighbor_period * 8,
             self.config.backoff_jitter_frac,
-            sim.rng.stream(f"host.{self.me}.gapfill_backoff"))
+            self.runtime.rng(f"host.{self.me}.gapfill_backoff"))
         #: earliest time a new attachment round / non-neighbor fill may run
         self._attach_resume_at = 0.0
         self._gapfill_resume_at = 0.0
@@ -146,43 +159,47 @@ class BroadcastHost:
         self._seen_control_sweep = 0.0
 
         port.set_receiver(self._on_packet)
-        self._ack_timer = Timer(sim, self._on_attach_timeout, name=f"{self.me}.ack")
-        self._parent_timer = Timer(sim, self._on_parent_timeout, name=f"{self.me}.parent")
+        # One-shot timers are held as opaque Runtime handles only — no
+        # backend-specific timer objects — so stop()/crash() disarm them
+        # identically in-sim and on the asyncio backend.
+        self._ack_timer: Optional[TimerHandle] = None
+        self._parent_timer: Optional[TimerHandle] = None
         self._tasks = self._build_tasks()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def _build_tasks(self) -> List[PeriodicTask]:
+    def _build_tasks(self) -> List[PeriodicHandle]:
         cfg = self.config
+        rt = self.runtime
         stream = f"host.{self.me}"
         tasks = [
-            PeriodicTask(self.sim, cfg.attachment_period, self._attachment_tick,
-                         jitter=cfg.attachment_jitter, rng_stream=f"{stream}.attach",
-                         name="attach"),
-            PeriodicTask(self.sim, cfg.info_intra_period, self._info_intra_tick,
-                         jitter=cfg.info_intra_period * cfg.info_jitter_frac,
-                         rng_stream=f"{stream}.info_intra", name="info_intra"),
-            PeriodicTask(self.sim, cfg.info_inter_period, self._info_inter_tick,
-                         jitter=cfg.info_inter_period * cfg.info_jitter_frac,
-                         rng_stream=f"{stream}.info_inter", name="info_inter"),
-            PeriodicTask(self.sim, cfg.gapfill_neighbor_intra_period,
-                         self._gapfill_neighbors_intra_tick,
-                         jitter=cfg.gapfill_neighbor_intra_period * 0.1,
-                         rng_stream=f"{stream}.gf_intra", name="gapfill_intra"),
-            PeriodicTask(self.sim, cfg.gapfill_neighbor_inter_period,
-                         self._gapfill_neighbors_inter_tick,
-                         jitter=cfg.gapfill_neighbor_inter_period * 0.1,
-                         rng_stream=f"{stream}.gf_inter", name="gapfill_inter"),
+            rt.start_periodic(cfg.attachment_period, self._attachment_tick,
+                              jitter=cfg.attachment_jitter,
+                              rng_stream=f"{stream}.attach", name="attach"),
+            rt.start_periodic(cfg.info_intra_period, self._info_intra_tick,
+                              jitter=cfg.info_intra_period * cfg.info_jitter_frac,
+                              rng_stream=f"{stream}.info_intra", name="info_intra"),
+            rt.start_periodic(cfg.info_inter_period, self._info_inter_tick,
+                              jitter=cfg.info_inter_period * cfg.info_jitter_frac,
+                              rng_stream=f"{stream}.info_inter", name="info_inter"),
+            rt.start_periodic(cfg.gapfill_neighbor_intra_period,
+                              self._gapfill_neighbors_intra_tick,
+                              jitter=cfg.gapfill_neighbor_intra_period * 0.1,
+                              rng_stream=f"{stream}.gf_intra", name="gapfill_intra"),
+            rt.start_periodic(cfg.gapfill_neighbor_inter_period,
+                              self._gapfill_neighbors_inter_tick,
+                              jitter=cfg.gapfill_neighbor_inter_period * 0.1,
+                              rng_stream=f"{stream}.gf_inter", name="gapfill_inter"),
         ]
         if cfg.enable_nonneighbor_gapfill:
             tasks.append(
-                PeriodicTask(self.sim, cfg.gapfill_nonneighbor_period,
-                             self._gapfill_nonneighbors_tick,
-                             jitter=cfg.gapfill_nonneighbor_period * 0.1,
-                             rng_stream=f"{stream}.gf_nonneighbor",
-                             name="gapfill_nonneighbor"))
+                rt.start_periodic(cfg.gapfill_nonneighbor_period,
+                                  self._gapfill_nonneighbors_tick,
+                                  jitter=cfg.gapfill_nonneighbor_period * 0.1,
+                                  rng_stream=f"{stream}.gf_nonneighbor",
+                                  name="gapfill_nonneighbor"))
         return tasks
 
     def start(self) -> "BroadcastHost":
@@ -205,8 +222,10 @@ class BroadcastHost:
         self._started = False
         for task in self._tasks:
             task.stop()
-        self._ack_timer.cancel()
-        self._parent_timer.cancel()
+        self.runtime.cancel_timer(self._ack_timer)
+        self._ack_timer = None
+        self.runtime.cancel_timer(self._parent_timer)
+        self._parent_timer = None
         self._pending = None
 
     # ------------------------------------------------------------------
@@ -245,7 +264,7 @@ class BroadcastHost:
         if self.crashed:
             return
         self.crashed = True
-        self._crashed_at = self.sim.now
+        self._crashed_at = self.runtime.now()
         self._awaiting_recovery_delivery = False
         self.stop()
         stable = self._stable_prefix()
@@ -274,9 +293,9 @@ class BroadcastHost:
         self._gapfill_resume_at = 0.0
         self._info_stamps.clear()
         self._seen_control.clear()
-        self.sim.trace.emit("host.crash", str(self.me), stable_prefix=stable,
+        self.runtime.trace("host.crash", str(self.me), stable_prefix=stable,
                             lost=lost_info)
-        self.sim.metrics.counter("proto.host.crash").inc()
+        self.runtime.counter("proto.host.crash").inc()
 
     def recover(self) -> None:
         """Recover from a crash: restart as a fresh orphan.
@@ -291,10 +310,10 @@ class BroadcastHost:
         self.crashed = False
         self._awaiting_recovery_delivery = True
         self.start()
-        down_for = (self.sim.now - self._crashed_at
+        down_for = (self.runtime.now() - self._crashed_at
                     if self._crashed_at is not None else 0.0)
-        self.sim.trace.emit("host.recover", str(self.me), down_for=down_for)
-        self.sim.metrics.counter("proto.host.recover").inc()
+        self.runtime.trace("host.recover", str(self.me), down_for=down_for)
+        self.runtime.counter("proto.host.recover").inc()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -325,9 +344,9 @@ class BroadcastHost:
         if self.crashed:
             # A crashed host neither processes nor acknowledges anything;
             # the packet is lost exactly as if the host were powered off.
-            self.sim.trace.emit("host.drop_crashed", str(self.me),
+            self.runtime.trace("host.drop_crashed", str(self.me),
                                 src=str(packet.src), payload_kind=packet.kind)
-            self.sim.metrics.counter("proto.host.drop_crashed").inc()
+            self.runtime.counter("proto.host.drop_crashed").inc()
             return
         sender = packet.src
         payload = packet.payload
@@ -343,14 +362,14 @@ class BroadcastHost:
             corrupt_uid = getattr(payload, "uid", None)
             known = (corrupt_uid is not None
                      and (sender, corrupt_uid) in self._seen_control)
-            self.sim.trace.emit("host.drop_corrupt", str(self.me),
+            self.runtime.trace("host.drop_corrupt", str(self.me),
                                 src=str(sender), payload_kind=packet.kind,
                                 known_uid=known)
-            self.sim.metrics.counter("proto.wire.corrupt_dropped").inc()
-            self.sim.metrics.counter(
+            self.runtime.counter("proto.wire.corrupt_dropped").inc()
+            self.runtime.counter(
                 "proto.wire.corrupt_dropped.dup_uid" if known
                 else "proto.wire.corrupt_dropped.forged_uid").inc()
-            self._congestion.note_bad(self.sim.now)
+            self._congestion.note_bad(self.runtime.now())
             return
         # Duplicate-control suppression: link-level duplicates and
         # replayed control messages share the original payload's uid.
@@ -359,12 +378,12 @@ class BroadcastHost:
         uid = getattr(payload, "uid", None)
         if uid is not None:
             key = (sender, uid)
-            now = self.sim.now
+            now = self.runtime.now()
             horizon = now - self.config.control_dedup_window
             if self._seen_control.get(key, float("-inf")) > horizon:
-                self.sim.trace.emit("host.drop_dup_control", str(self.me),
+                self.runtime.trace("host.drop_dup_control", str(self.me),
                                     src=str(sender), payload_kind=packet.kind)
-                self.sim.metrics.counter("proto.wire.dup_suppressed").inc()
+                self.runtime.counter("proto.wire.dup_suppressed").inc()
                 self._congestion.note_bad(now)
                 return
             self._seen_control[key] = now
@@ -372,7 +391,7 @@ class BroadcastHost:
                 self._seen_control_sweep = now
                 self._seen_control = {k: t for k, t in self._seen_control.items()
                                       if t > horizon}
-        self._congestion.note_good(self.sim.now)
+        self._congestion.note_good(self.runtime.now())
         self.cluster.observe(sender, self._expensive_delivery(packet))
         if sender == self.parent:
             self._arm_parent_timer()
@@ -387,7 +406,7 @@ class BroadcastHost:
         elif isinstance(payload, DetachNotice):
             self._on_detach(payload, sender)
         else:  # pragma: no cover - future message types
-            self.sim.trace.emit("host.unknown_payload", str(self.me),
+            self.runtime.trace("host.unknown_payload", str(self.me),
                                 payload=type(payload).__name__)
 
     def _expensive_delivery(self, packet: Packet) -> bool:
@@ -412,20 +431,20 @@ class BroadcastHost:
     def _on_data(self, msg: DataMsg, sender: HostId) -> None:
         self.maps.note_has(sender, msg.seq)
         if sender == self.parent:
-            self._parent_progress_at = self.sim.now
+            self._parent_progress_at = self.runtime.now()
         if msg.seq in self.info:
-            self.sim.trace.emit("host.discard_data", str(self.me), seq=msg.seq,
+            self.runtime.trace("host.discard_data", str(self.me), seq=msg.seq,
                                 sender=str(sender), reason="duplicate")
-            self.sim.metrics.counter("proto.data.discard.duplicate").inc()
-            self._congestion.note_bad(self.sim.now)
+            self.runtime.counter("proto.data.discard.duplicate").inc()
+            self._congestion.note_bad(self.runtime.now())
             return
         new_max = msg.seq > self.info.max_seqno
         if new_max and sender != self.parent:
             # The paper's rule: a higher-than-anything message is accepted
             # only from the parent; from anyone else it is discarded.
-            self.sim.trace.emit("host.discard_data", str(self.me), seq=msg.seq,
+            self.runtime.trace("host.discard_data", str(self.me), seq=msg.seq,
                                 sender=str(sender), reason="not_parent")
-            self.sim.metrics.counter("proto.data.discard.not_parent").inc()
+            self.runtime.counter("proto.data.discard.not_parent").inc()
             return
         self._accept(msg, sender, new_max)
 
@@ -436,19 +455,19 @@ class BroadcastHost:
         via_gapfill = not new_max or msg.gapfill
         self.deliveries.record(DeliveryRecord(
             seq=msg.seq, content=msg.content, created_at=msg.created_at,
-            delivered_at=self.sim.now, supplier=sender, via_gapfill=via_gapfill))
-        self.sim.trace.emit("host.deliver", str(self.me), seq=msg.seq,
+            delivered_at=self.runtime.now(), supplier=sender, via_gapfill=via_gapfill))
+        self.runtime.trace("host.deliver", str(self.me), seq=msg.seq,
                             sender=str(sender), gapfill=via_gapfill)
-        metrics = self.sim.metrics
-        metrics.counter("proto.deliver").inc()
-        metrics.histogram("proto.delay").observe(self.sim.now - msg.created_at)
+        runtime = self.runtime
+        runtime.counter("proto.deliver").inc()
+        runtime.histogram("proto.delay").observe(runtime.now() - msg.created_at)
         if self._awaiting_recovery_delivery:
             # First delivery after a crash: the recovery-time metric the
             # chaos experiments report (crash -> first post-recovery data).
             self._awaiting_recovery_delivery = False
-            elapsed = self.sim.now - (self._crashed_at or 0.0)
-            metrics.histogram("proto.host.recovery_time").observe(elapsed)
-            self.sim.trace.emit("host.recovery_delivery", str(self.me),
+            elapsed = runtime.now() - (self._crashed_at or 0.0)
+            runtime.histogram("proto.host.recovery_time").observe(elapsed)
+            self.runtime.trace("host.recovery_delivery", str(self.me),
                                 elapsed=elapsed, seq=msg.seq)
         if new_max:
             # Normal propagation: push to all children.
@@ -479,10 +498,10 @@ class BroadcastHost:
             depth_of = getattr(self.port, "queue_length", None)
             if (depth_of is not None
                     and depth_of() >= resources.outbound_queue_limit):
-                self.sim.trace.emit(
+                self.runtime.trace(
                     "host.shed", str(self.me), buffer="outbound", seq=seq,
                     target=str(target), policy=ShedPolicy.DROP_NEWEST.value)
-                self.sim.metrics.counter("proto.shed.outbound").inc()
+                self.runtime.counter("proto.shed.outbound").inc()
                 return
         msg = DataMsg(seq=stored.seq, content=stored.content,
                       created_at=stored.created_at, origin=stored.origin,
@@ -494,14 +513,14 @@ class BroadcastHost:
         fills = self._recent_fills.setdefault(target, {})
         if seq not in fills:
             self._fill_entries += 1
-        fills[seq] = self.sim.now
+        fills[seq] = self.runtime.now()
         self._shed_fill_table()
         if gapfill:
-            self.sim.metrics.counter("proto.gapfill.sent").inc()
-            self.sim.trace.emit("host.gapfill_send", str(self.me),
+            self.runtime.counter("proto.gapfill.sent").inc()
+            self.runtime.trace("host.gapfill_send", str(self.me),
                                 target=str(target), seq=seq)
         else:
-            self.sim.metrics.counter("proto.data.forwarded").inc()
+            self.runtime.counter("proto.data.forwarded").inc()
 
     # ------------------------------------------------------------------
     # Bounded resources (DESIGN.md §13) — all no-ops when resources=None
@@ -524,9 +543,9 @@ class BroadcastHost:
             victim = (max(self.store) if policy is ShedPolicy.DROP_NEWEST
                       else min(self.store))
             del self.store[victim]
-            self.sim.trace.emit("host.shed", str(self.me), buffer="store",
+            self.runtime.trace("host.shed", str(self.me), buffer="store",
                                 seq=victim, policy=policy.value)
-            self.sim.metrics.counter("proto.shed.store").inc()
+            self.runtime.counter("proto.shed.store").inc()
 
     def _shed_fill_table(self) -> None:
         """Enforce the gap-fill suppression-table bound.
@@ -548,8 +567,8 @@ class BroadcastHost:
         for when, target, seq in entries[:excess]:
             del self._recent_fills[target][seq]
             self._fill_entries -= 1
-            self.sim.metrics.counter("proto.shed.fill_table").inc()
-        self.sim.trace.emit("host.shed", str(self.me), buffer="fill_table",
+            self.runtime.counter("proto.shed.fill_table").inc()
+        self.runtime.trace("host.shed", str(self.me), buffer="fill_table",
                             count=excess,
                             policy=ShedPolicy.DROP_OLDEST.value)
 
@@ -558,7 +577,7 @@ class BroadcastHost:
     # ------------------------------------------------------------------
 
     def _on_info(self, msg: InfoMsg, sender: HostId) -> None:
-        now = self.sim.now
+        now = self.runtime.now()
         if msg.stamp >= 0.0:
             # Hold the sender's stamp; our next InfoMsg to it echoes it.
             self._info_stamps[sender] = (msg.stamp, now)
@@ -573,16 +592,16 @@ class BroadcastHost:
         grace = self.config.child_reconcile_grace
         if (self.config.enable_child_reconcile
                 and sender in self.children and msg.parent != self.me
-                and self.sim.now - self._child_since.get(sender, 0.0) > grace):
+                and self.runtime.now() - self._child_since.get(sender, 0.0) > grace):
             # The routine parent-pointer exchange reveals a phantom child:
             # it asked to attach once but never adopted us (ack lost or
             # timed out).  Keeping it would mean gap-filling a host that
             # discards everything we send.
             self.children.discard(sender)
             self._child_since.pop(sender, None)
-            self.sim.trace.emit("host.child_reconciled", str(self.me),
+            self.runtime.trace("host.child_reconciled", str(self.me),
                                 child=str(sender))
-            self.sim.metrics.counter("proto.children.reconciled").inc()
+            self.runtime.counter("proto.children.reconciled").inc()
 
     def _info_payload_for(self, dst: HostId) -> InfoMsg:
         # Each destination gets its own stamp, plus (once) the echo of
@@ -591,23 +610,23 @@ class BroadcastHost:
         held = self._info_stamps.pop(dst, None)
         if held is not None:
             echo_stamp = held[0]
-            echo_hold = self.sim.now - held[1]
+            echo_hold = self.runtime.now() - held[1]
         return InfoMsg(sender=self.me, info=self.info, parent=self.parent,
                        size_bits=self.config.control_size_bits,
-                       stamp=self.sim.now, echo_stamp=echo_stamp,
+                       stamp=self.runtime.now(), echo_stamp=echo_stamp,
                        echo_hold=echo_hold)
 
     def _info_intra_tick(self) -> None:
         for j in sorted(self.cluster.neighbors()):
             self.port.send(j, self._info_payload_for(j))
-            self.sim.metrics.counter("proto.info.sent.intra").inc()
+            self.runtime.counter("proto.info.sent.intra").inc()
 
     def _info_inter_tick(self) -> None:
         for j in self.participants:
             if j in self.cluster:
                 continue
             self.port.send(j, self._info_payload_for(j))
-            self.sim.metrics.counter("proto.info.sent.inter").inc()
+            self.runtime.counter("proto.info.sent.inter").inc()
         self._maybe_prune()
 
     def _maybe_prune(self) -> None:
@@ -631,7 +650,7 @@ class BroadcastHost:
         self.info.prune_through(prefix)
         for seq in [s for s in self.store if s <= prefix]:
             del self.store[seq]
-        self.sim.trace.emit("host.prune", str(self.me), through=prefix)
+        self.runtime.trace("host.prune", str(self.me), through=prefix)
 
     # ------------------------------------------------------------------
     # Gap filling (Section 4.4)
@@ -657,9 +676,9 @@ class BroadcastHost:
                 # Graceful degradation: when receives are going bad,
                 # smaller repair batches — never a bigger retry storm.
                 batch_limit = max(1, batch_limit // 2)
-            horizon = self.sim.now - self._gapfill_retry_window(target, intra)
+            horizon = self.runtime.now() - self._gapfill_retry_window(target, intra)
         else:
-            horizon = self.sim.now - self.config.gapfill_suppression
+            horizon = self.runtime.now() - self.config.gapfill_suppression
         target_max = view.max_seqno
         # Only the target's parent may usefully send messages numbered
         # above the target's maximum: receivers enforce the paper's rule
@@ -685,7 +704,7 @@ class BroadcastHost:
         return sent
 
     def _congested(self) -> bool:
-        return (self._congestion.level(self.sim.now)
+        return (self._congestion.level(self.runtime.now())
                 > self.config.congestion_threshold)
 
     def _gapfill_retry_window(self, target: HostId, intra: bool) -> float:
@@ -716,9 +735,9 @@ class BroadcastHost:
 
     def _gapfill_nonneighbors_tick(self) -> None:
         if self.config.adaptive:
-            now = self.sim.now
+            now = self.runtime.now()
             if now < self._gapfill_resume_at:
-                self.sim.metrics.counter("proto.gapfill.throttled").inc()
+                self.runtime.counter("proto.gapfill.throttled").inc()
                 return
             if self._congested():
                 # Non-neighbor filling is the protocol's *optional*
@@ -727,9 +746,9 @@ class BroadcastHost:
                 # what the congestion signal exists to prevent).
                 delay = self._gapfill_backoff.next_delay()
                 self._gapfill_resume_at = now + delay
-                self.sim.trace.emit("host.gapfill_throttle", str(self.me),
+                self.runtime.trace("host.gapfill_throttle", str(self.me),
                                     resume_in=delay)
-                self.sim.metrics.counter("proto.gapfill.throttled").inc()
+                self.runtime.counter("proto.gapfill.throttled").inc()
                 return
             self._gapfill_backoff.reset()
         neighbors = self.neighbors()
@@ -751,19 +770,19 @@ class BroadcastHost:
     def _attachment_tick(self) -> None:
         if self._pending is not None:
             return  # one handshake at a time
-        if self.config.adaptive and self.sim.now < self._attach_resume_at:
+        if self.config.adaptive and self.runtime.now() < self._attach_resume_at:
             return  # backing off after an exhausted round
         self._maybe_refresh_parent()
         plan = plan_attachment(self._attachment_view())
         if plan.cycle_detected:
-            self.sim.trace.emit("host.cycle_detected", str(self.me),
+            self.runtime.trace("host.cycle_detected", str(self.me),
                                 cycle=[str(h) for h in plan.cycle])
-            self.sim.metrics.counter("proto.cycle.detected").inc()
+            self.runtime.counter("proto.cycle.detected").inc()
             if not plan.must_break_cycle:
                 return
             # The highest-order member detaches and reruns as case I.
             self._detach_from_parent(reason="cycle_break")
-            self.sim.metrics.counter("proto.cycle.broken").inc()
+            self.runtime.counter("proto.cycle.broken").inc()
             plan = plan_attachment(self._attachment_view())
         if not plan.candidates:
             return
@@ -785,12 +804,14 @@ class BroadcastHost:
                                 attempt=self._pending.attempt,
                                 size_bits=self.config.control_size_bits)
         self.port.send(candidate.target, request)
-        self.sim.trace.emit("host.attach_try", str(self.me),
+        self.runtime.trace("host.attach_try", str(self.me),
                             target=str(candidate.target), case=candidate.case,
                             option=candidate.option, attempt=self._pending.attempt)
-        self.sim.metrics.counter("proto.attach.requests").inc()
-        self._attach_sent_at = self.sim.now
-        self._ack_timer.start(self._attach_timeout_value(candidate.target))
+        self.runtime.counter("proto.attach.requests").inc()
+        self._attach_sent_at = self.runtime.now()
+        self.runtime.cancel_timer(self._ack_timer)
+        self._ack_timer = self.runtime.start_timer(
+            self._attach_timeout_value(candidate.target), self._on_attach_timeout)
 
     def _attach_timeout_value(self, target: HostId) -> float:
         """How long to wait for ``target``'s AttachAck.
@@ -818,22 +839,22 @@ class BroadcastHost:
             return
         if self.maps.info_of(self.parent).max_seqno <= self.info.max_seqno:
             return
-        if self.sim.now - self._parent_progress_at < self.config.parent_refresh_timeout:
+        if self.runtime.now() - self._parent_progress_at < self.config.parent_refresh_timeout:
             return
-        self._parent_progress_at = self.sim.now  # pace the refreshes
+        self._parent_progress_at = self.runtime.now()  # pace the refreshes
         request = AttachRequest(child=self.me, child_info=self.info, attempt=0,
                                 size_bits=self.config.control_size_bits)
         self.port.send(self.parent, request)
-        self.sim.trace.emit("host.parent_refresh", str(self.me),
+        self.runtime.trace("host.parent_refresh", str(self.me),
                             parent=str(self.parent))
-        self.sim.metrics.counter("proto.parent.refresh").inc()
+        self.runtime.counter("proto.parent.refresh").inc()
 
     def _on_attach_timeout(self) -> None:
         if self._pending is None:
             return
         target = self._pending.current.target
-        self.sim.trace.emit("host.attach_timeout", str(self.me), target=str(target))
-        self.sim.metrics.counter("proto.attach.timeouts").inc()
+        self.runtime.trace("host.attach_timeout", str(self.me), target=str(target))
+        self.runtime.counter("proto.attach.timeouts").inc()
         self._rtt.on_timeout(target)  # Karn: back the peer's RTO off
         # The candidate may have registered us and lost the ack; tell it
         # to forget us so it does not keep feeding a phantom child.
@@ -848,10 +869,10 @@ class BroadcastHost:
                 # or the path is melting.  Back off with jitter instead
                 # of hammering the same list every attachment period.
                 delay = self._attach_backoff.next_delay()
-                self._attach_resume_at = self.sim.now + delay
-                self.sim.trace.emit("host.attach_backoff", str(self.me),
+                self._attach_resume_at = self.runtime.now() + delay
+                self.runtime.trace("host.attach_backoff", str(self.me),
                                     resume_in=delay)
-                self.sim.metrics.counter("proto.attach.backoff").inc()
+                self.runtime.counter("proto.attach.backoff").inc()
             return
         self._send_attach_request()
 
@@ -860,7 +881,7 @@ class BroadcastHost:
             # Keep the original registration time on repeat requests so
             # the reconcile grace period can actually elapse for a child
             # that keeps requesting but never adopts us.
-            self._child_since[request.child] = self.sim.now
+            self._child_since[request.child] = self.runtime.now()
         self.children.add(request.child)
         self.maps.info_of(request.child).update(request.child_info)
         self.maps.set_parent_view(request.child, self.me)
@@ -868,7 +889,7 @@ class BroadcastHost:
                         parent_info=self.info, parent_parent=self.parent,
                         size_bits=self.config.control_size_bits)
         self.port.send(request.child, ack)
-        self.sim.trace.emit("host.child_added", str(self.me), child=str(request.child))
+        self.runtime.trace("host.child_added", str(self.me), child=str(request.child))
         # The new child's gaps (frontier included, since it is now a
         # child) are filled by the next periodic child gap-fill tick.
         # Filling synchronously here would push a large data batch onto
@@ -890,20 +911,21 @@ class BroadcastHost:
         candidate = pending.current
         # An unambiguous round trip (the attempt counter is Karn's
         # rule): request sent at _attach_sent_at, matching ack now.
-        self._rtt.observe(sender, self.sim.now - self._attach_sent_at)
+        self._rtt.observe(sender, self.runtime.now() - self._attach_sent_at)
         self._attach_backoff.reset()
         self._attach_resume_at = 0.0
-        self._ack_timer.cancel()
+        self.runtime.cancel_timer(self._ack_timer)
+        self._ack_timer = None
         self._pending = None
         old_parent = self.parent
         self.parent = sender
-        self._parent_progress_at = self.sim.now
+        self._parent_progress_at = self.runtime.now()
         self._arm_parent_timer()
-        self.sim.trace.emit("host.attach_ok", str(self.me), parent=str(sender),
+        self.runtime.trace("host.attach_ok", str(self.me), parent=str(sender),
                             case=candidate.case, option=candidate.option,
                             old_parent=str(old_parent) if old_parent else None)
-        self.sim.metrics.counter("proto.attach.success").inc()
-        self.sim.metrics.counter(
+        self.runtime.counter("proto.attach.success").inc()
+        self.runtime.counter(
             f"proto.attach.case.{candidate.case}.{candidate.option}").inc()
         if old_parent is not None and old_parent != sender:
             self.port.send(old_parent, DetachNotice(
@@ -912,7 +934,7 @@ class BroadcastHost:
     def _on_detach(self, notice: DetachNotice, sender: HostId) -> None:
         self.children.discard(notice.child)
         self._child_since.pop(notice.child, None)
-        self.sim.trace.emit("host.child_removed", str(self.me),
+        self.runtime.trace("host.child_removed", str(self.me),
                             child=str(notice.child))
 
     # ------------------------------------------------------------------
@@ -935,26 +957,30 @@ class BroadcastHost:
 
     def _arm_parent_timer(self) -> None:
         if self.parent is not None:
-            self._parent_timer.start(self._parent_timeout_value())
+            self.runtime.cancel_timer(self._parent_timer)
+            self._parent_timer = self.runtime.start_timer(
+                self._parent_timeout_value(), self._on_parent_timeout)
 
     def _on_parent_timeout(self) -> None:
         if self.parent is None:
             return
-        self.sim.trace.emit("host.parent_timeout", str(self.me),
+        self.runtime.trace("host.parent_timeout", str(self.me),
                             parent=str(self.parent))
-        self.sim.metrics.counter("proto.parent.timeouts").inc()
+        self.runtime.counter("proto.parent.timeouts").inc()
         # Do not notify the (presumed dead) parent; just forget it and
         # let the attachment procedure find a new one (case I).
         self.parent = None
-        self._parent_timer.cancel()
-        self.sim.call_soon(self._attachment_tick)
+        self.runtime.cancel_timer(self._parent_timer)
+        self._parent_timer = None
+        self.runtime.call_soon(self._attachment_tick)
 
     def _detach_from_parent(self, reason: str) -> None:
         if self.parent is None:
             return
         self.port.send(self.parent, DetachNotice(
             child=self.me, size_bits=self.config.control_size_bits))
-        self.sim.trace.emit("host.detach", str(self.me), parent=str(self.parent),
+        self.runtime.trace("host.detach", str(self.me), parent=str(self.parent),
                             reason=reason)
         self.parent = None
-        self._parent_timer.cancel()
+        self.runtime.cancel_timer(self._parent_timer)
+        self._parent_timer = None

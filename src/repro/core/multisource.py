@@ -58,12 +58,21 @@ class TaggedPayload:
 
 
 class VirtualPort:
-    """The HostPort facade one protocol instance sees."""
+    """The Transport facade one protocol instance sees.
+
+    Conforms to :class:`repro.io.interfaces.Transport`: taps installed
+    here see only *this instance's* traffic (post-demultiplex), layered
+    on top of whatever taps sit on the shared real port underneath.
+    """
 
     def __init__(self, mux: "PortMux", instance: str) -> None:
         self._mux = mux
         self.instance = instance
         self._receiver: Optional[Callable[[Packet], None]] = None
+        #: optional per-instance inbound tap (chaos injection hook)
+        self.tap: Optional[Callable[[Packet], bool]] = None
+        #: optional per-instance outbound tap (adversary persona hook)
+        self.send_tap: Optional[Callable[[HostId, Payload], bool]] = None
 
     @property
     def sim(self) -> Simulator:
@@ -89,11 +98,29 @@ class VirtualPort:
 
     def send(self, dst: HostId, payload: Payload) -> None:
         """Send one individually addressed message (fire-and-forget)."""
+        send_tap = self.send_tap
+        if send_tap is not None and send_tap(dst, payload):
+            return
+        self.send_raw(dst, payload)
+
+    def send_raw(self, dst: HostId, payload: Payload) -> None:
+        """Tag and transmit, bypassing this instance's send tap.
+
+        The shared real port's own taps (if any) still apply — they sit
+        one layer below, on the tagged packet stream.
+        """
         self._mux.port.send(dst, TaggedPayload(self.instance, payload))
 
-    def _deliver(self, packet: Packet) -> None:
+    def inject(self, packet: Packet) -> None:
+        """Deliver an (untagged) packet to the instance, bypassing the tap."""
         if self._receiver is not None:
             self._receiver(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        tap = self.tap
+        if tap is not None and tap(packet):
+            return
+        self.inject(packet)
 
 
 class PortMux:

@@ -72,6 +72,12 @@ class PiggybackPort:
         self._pending: Dict[HostId, List[Payload]] = {}
         self._flush_events: Dict[HostId, Event] = {}
         self._receiver: Optional[Callable[[Packet], None]] = None
+        #: optional inbound tap (chaos injection hook); sees unbundled
+        #: messages, exactly what the protocol machine would see
+        self.tap: Optional[Callable[[Packet], bool]] = None
+        #: optional outbound tap (adversary persona hook); sees payloads
+        #: *before* batching, so substitutions piggyback normally
+        self.send_tap: Optional[Callable[[HostId, Payload], bool]] = None
         port.set_receiver(self._on_packet)
 
     # -- port facade -------------------------------------------------------
@@ -100,6 +106,13 @@ class PiggybackPort:
 
     def send(self, dst: HostId, payload: Payload) -> None:
         """Send one individually addressed message (fire-and-forget)."""
+        send_tap = self.send_tap
+        if send_tap is not None and send_tap(dst, payload):
+            return
+        self.send_raw(dst, payload)
+
+    def send_raw(self, dst: HostId, payload: Payload) -> None:
+        """Batch/transmit, bypassing this wrapper's send tap."""
         if payload.kind != KIND_CONTROL:
             # Data is urgent; push held control first to keep ordering.
             self.flush(dst)
@@ -135,15 +148,26 @@ class PiggybackPort:
 
     # -- receive side ------------------------------------------------------
 
+    def inject(self, packet: Packet) -> None:
+        """Deliver an (unbundled) packet to the host, bypassing the tap."""
+        if self._receiver is not None:
+            self._receiver(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        tap = self.tap
+        if tap is not None and tap(packet):
+            return
+        self.inject(packet)
+
     def _on_packet(self, packet: Packet) -> None:
         if self._receiver is None:
             return
         payload = packet.payload
         if not isinstance(payload, ControlBundle):
-            self._receiver(packet)
+            self._deliver(packet)
             return
         for inner in payload.messages:
-            self._receiver(Packet(
+            self._deliver(Packet(
                 src=packet.src, dst=packet.dst, payload=inner,
                 cost_bit=packet.cost_bit, hops=packet.hops,
                 sent_at=packet.sent_at, stamped_at=packet.stamped_at,

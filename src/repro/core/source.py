@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..io.interfaces import PeriodicHandle
 from ..net import HostId
-from ..sim import PeriodicTask
 from .delivery import DeliveryRecord
 from .host import BroadcastHost
 from .resources import TokenBucket
@@ -36,14 +36,14 @@ class SourceHost(BroadcastHost):
         if resources is not None and resources.admission_enabled:
             self._admission = TokenBucket(resources.admission_rate,
                                           resources.admission_burst,
-                                          now=self.sim.now)
+                                          now=self.runtime.now())
 
     @property
     def is_source(self) -> bool:
         """True for the broadcast source host."""
         return True
 
-    def _build_tasks(self) -> List[PeriodicTask]:
+    def _build_tasks(self) -> List[PeriodicHandle]:
         # Drop the attachment task: the source never looks for a parent.
         return [task for task in super()._build_tasks() if task.name != "attach"]
 
@@ -82,17 +82,17 @@ class SourceHost(BroadcastHost):
             return 0
         seq = self._next_seq
         self._next_seq += 1
-        msg = DataMsg(seq=seq, content=content, created_at=self.sim.now,
+        msg = DataMsg(seq=seq, content=content, created_at=self.runtime.now(),
                       origin=self.me, gapfill=False,
                       size_bits=self.config.data_size_bits)
         self.info.add(seq)
         self.store[seq] = msg
         self.deliveries.record(DeliveryRecord(
-            seq=seq, content=content, created_at=self.sim.now,
-            delivered_at=self.sim.now, supplier=self.me, via_gapfill=False))
-        self.sim.trace.emit("source.broadcast", str(self.me), seq=seq,
+            seq=seq, content=content, created_at=self.runtime.now(),
+            delivered_at=self.runtime.now(), supplier=self.me, via_gapfill=False))
+        self.runtime.trace("source.broadcast", str(self.me), seq=seq,
                             while_crashed=self.crashed)
-        self.sim.metrics.counter("proto.source.broadcasts").inc()
+        self.runtime.counter("proto.source.broadcasts").inc()
         if not self.crashed:
             # While crashed, the message sits in the stable outbox only;
             # hosts catch up via gap filling once the source recovers.
@@ -107,15 +107,15 @@ class SourceHost(BroadcastHost):
         resources = self.config.resources
         assert resources is not None
         brake = resources.congestion_brake if self._congested() else 1.0
-        if self._admission.try_take(self.sim.now, brake=brake):
+        if self._admission.try_take(self.runtime.now(), brake=brake):
             return True
-        self.sim.trace.emit("source.admission_reject", str(self.me),
+        self.runtime.trace("source.admission_reject", str(self.me),
                             braked=brake < 1.0)
-        self.sim.metrics.counter("proto.source.admission_rejected").inc()
+        self.runtime.counter("proto.source.admission_rejected").inc()
         return False
 
     def recover(self) -> None:
         """Recover from a crash; the admission bucket restarts full."""
         if self.crashed and self._admission is not None:
-            self._admission.reset(self.sim.now)
+            self._admission.reset(self.runtime.now())
         super().recover()

@@ -1,0 +1,227 @@
+"""The sans-IO runtime and transport contracts (DESIGN.md §14).
+
+The protocol machines in :mod:`repro.core` and :mod:`repro.baseline`
+are pure state machines: events in (packets, timer fires), messages out
+(unicast sends), plus observability side effects (trace records,
+metrics).  Everything they need from their environment is collected in
+two narrow structural interfaces:
+
+* :class:`Runtime` — clock, one-shot timers, periodic tasks, named RNG
+  streams, tracing, and metrics.  The discrete-event backend is
+  :class:`repro.io.simbackend.SimRuntime` (virtual time, deterministic);
+  the real-socket backend is
+  :class:`repro.io.aio.AsyncioRuntime` (wall clock, asyncio timers).
+* :class:`Transport` — the host's single attachment point to a network:
+  fire-and-forget unicast, an inbound-packet callback, the local clock
+  reading, local send-queue depth, and the chaos/adversary tap points.
+  The discrete-event backend is :class:`repro.net.hostiface.HostPort`
+  (and its wrappers :class:`repro.core.piggyback.PiggybackPort` and
+  :class:`repro.core.multisource.VirtualPort`); the real-socket backend
+  is :class:`repro.io.udp.UdpTransport`.
+
+Both are :func:`typing.runtime_checkable` Protocols, so conformance is
+structural — a backend never imports the protocol machines, and the
+machines never import a backend.
+
+Contract notes (what every backend must guarantee):
+
+* ``now()`` is monotonically non-decreasing and starts near 0.0; all
+  protocol timing config (:class:`repro.core.config.ProtocolConfig`) is
+  expressed in these *protocol seconds*.
+* ``start_timer`` returns a handle that fires the callback exactly once
+  after ``delay`` protocol seconds unless cancelled; ``cancel_timer``
+  is safe to call with ``None``, an expired handle, or an already
+  cancelled handle (idempotent disarm).
+* ``start_periodic`` returns the handle *unstarted*; the first tick
+  fires one (jittered) period after ``start()``.  ``stop()`` must
+  guarantee no further ticks.  Jitter draws come from the named RNG
+  stream so seeded backends replay identically.
+* ``trace``/``counter``/``histogram`` must never affect protocol
+  behavior — observability is write-only from the machine's view.
+* ``Transport.send`` is fire-and-forget unicast with no delivery
+  feedback (the paper's nonprogrammable-server service model).
+  ``send``/``deliver`` route through the installed taps;
+  ``send_raw``/``inject`` are the tap re-entry points that bypass them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import (
+    Any,
+    Callable,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+from ..net.addressing import HostId
+from ..net.message import Packet, Payload
+
+#: Inbound-packet callback an application registers on a transport.
+ReceiveFn = Callable[[Packet], None]
+
+#: A delivery tap: sees each inbound packet *before* receive accounting;
+#: returning True consumes the packet (the tap is responsible for any
+#: later re-injection via :meth:`Transport.inject`).
+TapFn = Callable[[Packet], bool]
+
+#: A send tap: sees each outbound (dst, payload) pair *before*
+#: packetisation and send accounting; returning True consumes the send
+#: (the tap is responsible for any substitute via
+#: :meth:`Transport.send_raw`).
+SendTapFn = Callable[[HostId, Payload], bool]
+
+
+@runtime_checkable
+class CounterLike(Protocol):
+    """A monotonically increasing metric."""
+
+    value: float
+
+    def inc(self, amount: float = 1.0) -> None: ...
+
+
+@runtime_checkable
+class HistogramLike(Protocol):
+    """A sample-recording metric."""
+
+    def observe(self, value: float) -> None: ...
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A one-shot timer armed by :meth:`Runtime.start_timer`."""
+
+    @property
+    def armed(self) -> bool: ...
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class PeriodicHandle(Protocol):
+    """A periodic task created by :meth:`Runtime.start_periodic`.
+
+    Created stopped; ``start()`` begins ticking (first tick after one
+    jittered period), ``stop()`` guarantees no further ticks.  Both are
+    idempotent.
+    """
+
+    name: str
+
+    @property
+    def running(self) -> bool: ...
+
+    def start(self) -> "PeriodicHandle": ...
+
+    def stop(self) -> None: ...
+
+
+@runtime_checkable
+class Runtime(Protocol):
+    """Everything a protocol machine may ask of its execution substrate."""
+
+    def now(self) -> float:
+        """Current protocol time in seconds (monotone, starts near 0)."""
+        ...
+
+    def rng(self, name: str) -> random.Random:
+        """The named seed-derived RNG stream (stable per name)."""
+        ...
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback`` as soon as possible, after pending work."""
+        ...
+
+    def start_timer(self, delay: float,
+                    callback: Callable[[], None]) -> TimerHandle:
+        """Arm a one-shot timer ``delay`` protocol seconds from now."""
+        ...
+
+    def cancel_timer(self, handle: Optional[TimerHandle]) -> None:
+        """Disarm a timer; safe on None / expired / already cancelled."""
+        ...
+
+    def start_periodic(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        jitter: float = 0.0,
+        rng_stream: str = "periodic.jitter",
+        name: str = "",
+    ) -> PeriodicHandle:
+        """Create an (unstarted) periodic task ticking every ``period``."""
+        ...
+
+    def trace(self, kind: str, source: str, /, **fields: Any) -> None:
+        """Emit one structured trace record (observability only)."""
+        ...
+
+    def counter(self, name: str) -> CounterLike:
+        """The named counter, created on first use."""
+        ...
+
+    def histogram(self, name: str) -> HistogramLike:
+        """The named histogram, created on first use."""
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """A host's single attachment point onto some network.
+
+    The attribute pair ``tap``/``send_tap`` and the method pair
+    ``inject``/``send_raw`` form the uniform chaos/adversary surface:
+    an injector installs the same tap callable on any backend, and
+    re-enters substituted traffic through the same bypass methods.
+    """
+
+    host_id: HostId
+    tap: Optional[TapFn]
+    send_tap: Optional[SendTapFn]
+
+    def set_receiver(self, callback: ReceiveFn) -> None:
+        """Register the application callback for inbound packets."""
+        ...
+
+    def send(self, dst: HostId, payload: Payload) -> None:
+        """Fire-and-forget unicast (runs the send tap first)."""
+        ...
+
+    def send_raw(self, dst: HostId, payload: Payload) -> None:
+        """Transmit bypassing the send tap (the tap's re-entry point)."""
+        ...
+
+    def inject(self, packet: Packet) -> None:
+        """Deliver inbound bypassing the tap (the tap's re-entry point)."""
+        ...
+
+    def local_time(self) -> float:
+        """This host's local clock reading (protocol seconds)."""
+        ...
+
+    def queue_length(self) -> int:
+        """Outbound packets queued or in flight on the local send path."""
+        ...
+
+
+def as_runtime(runtime_or_sim: object) -> Runtime:
+    """Coerce either a :class:`Runtime` or a bare ``Simulator``.
+
+    Protocol machines accept both so existing call sites (and tests)
+    that pass a ``Simulator`` keep working: a simulator is wrapped in a
+    :class:`~repro.io.simbackend.SimRuntime` on the fly; anything
+    already satisfying :class:`Runtime` passes through untouched.
+    """
+    if isinstance(runtime_or_sim, Runtime):
+        return runtime_or_sim
+    from ..sim import Simulator
+
+    if isinstance(runtime_or_sim, Simulator):
+        from .simbackend import SimRuntime
+
+        return SimRuntime(runtime_or_sim)
+    raise TypeError(
+        f"expected a Runtime or Simulator, got {type(runtime_or_sim).__name__}")

@@ -1,0 +1,195 @@
+"""UDP deployment assembly: the protocol over real sockets.
+
+:class:`UdpBroadcastSystem` mirrors :class:`repro.core.engine.BroadcastSystem`
+— same order assignment, same host construction, same workload and
+convergence helpers — but deploys every host over its own localhost UDP
+socket driven by one shared :class:`~repro.io.aio.AsyncioRuntime`.  The
+protocol machines are byte-for-byte the classes validated in-sim; only
+the Runtime/Transport objects handed to them differ.
+
+Deployment model notes:
+
+* Clusters are **static**: real networks stamp no cost bits, so hosts
+  get a-priori cluster knowledge (the paper's manual-configuration
+  option, Section 6).  Any config passed in is coerced to
+  ``ClusterMode.STATIC``.
+* Sockets bind ephemeral ports (the OS picks), so parallel CI jobs
+  never collide; the full peer address map is distributed to every
+  transport after all sockets are bound — playing the role of the
+  routing tables the sim network maintains.
+* All hosts run in one process on one event loop.  That is a harness
+  simplification (one Python process is the "network"), not a protocol
+  one: hosts still communicate exclusively through their sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..core.config import ClusterMode, ProtocolConfig
+from ..core.delivery import DeliverCallback
+from ..core.engine import BroadcastSystem
+from ..core.host import BroadcastHost
+from ..core.source import SourceHost
+from ..net.addressing import HostId
+from .aio import AsyncioRuntime
+from .udp import UdpTransport
+
+
+def cluster_names(clusters: int, hosts_per_cluster: int) -> List[List[str]]:
+    """The host-name grid :func:`repro.net.generator.wan_of_lans` uses.
+
+    Seed-matched sim-vs-UDP comparisons need identical host names on
+    both sides; this reproduces the generator's ``h{c}.{h}`` scheme.
+    """
+    return [[f"h{c}.{h}" for h in range(hosts_per_cluster)]
+            for c in range(clusters)]
+
+
+class UdpBroadcastSystem:
+    """A complete broadcast deployment over localhost UDP sockets.
+
+    Args:
+        clusters: host names grouped by cluster, e.g.
+            ``[["h0.0", "h0.1"], ["h1.0", "h1.1"]]``.
+        config: protocol tuning; cluster mode is forced to STATIC.
+        source: source host name (defaults to the first host).
+        seed: master seed for the runtime's RNG streams.
+        time_scale: wall seconds per protocol second (see
+            :class:`~repro.io.aio.AsyncioRuntime`); ``0.05`` runs the
+            paper's multi-second timers 20× faster than real time.
+        deliver_callback: invoked on every delivery at every host.
+        trace: retain trace records on the shared runtime.
+    """
+
+    def __init__(
+        self,
+        clusters: Sequence[Sequence[str]],
+        config: Optional[ProtocolConfig] = None,
+        source: Optional[str] = None,
+        *,
+        seed: int = 0,
+        time_scale: float = 1.0,
+        deliver_callback: Optional[DeliverCallback] = None,
+        trace: bool = True,
+    ) -> None:
+        names = [name for cluster in clusters for name in cluster]
+        if not names:
+            raise ValueError("need at least one host")
+        if len(set(names)) != len(names):
+            raise ValueError("host names must be distinct")
+        self.host_ids: List[HostId] = [HostId(n) for n in names]
+        self.source_id = HostId(source) if source is not None else self.host_ids[0]
+        if self.source_id not in self.host_ids:
+            raise ValueError(f"source {self.source_id} is not a deployment host")
+
+        config = config or ProtocolConfig.for_scale(len(names))
+        if config.cluster_mode is not ClusterMode.STATIC:
+            # No cost bits on real sockets: cluster knowledge is a-priori.
+            config = dataclasses.replace(config,
+                                         cluster_mode=ClusterMode.STATIC)
+        self.config = config
+
+        self.runtime = AsyncioRuntime(seed=seed, time_scale=time_scale,
+                                      trace=trace)
+        self._order = BroadcastSystem._assign_order(self.host_ids, self.source_id)
+
+        static_clusters: Dict[HostId, Set[HostId]] = {}
+        for cluster in clusters:
+            members = {HostId(n) for n in cluster}
+            for name in cluster:
+                static_clusters[HostId(name)] = members
+
+        self.transports: Dict[HostId, UdpTransport] = {
+            h: UdpTransport(self.runtime, h, peers={}) for h in self.host_ids}
+        self.hosts: Dict[HostId, BroadcastHost] = {}
+        for host_id in self.host_ids:
+            cls = SourceHost if host_id == self.source_id else BroadcastHost
+            self.hosts[host_id] = cls(
+                sim=self.runtime,
+                port=self.transports[host_id],
+                participants=self.host_ids,
+                order=self._order.__getitem__,
+                config=self.config,
+                static_cluster=static_clusters.get(host_id),
+                deliver_callback=deliver_callback,
+            )
+        self._opened = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def source(self) -> SourceHost:
+        """The source host agent (root of the broadcast)."""
+        host = self.hosts[self.source_id]
+        assert isinstance(host, SourceHost)
+        return host
+
+    async def open(self, host: str = "127.0.0.1") -> "UdpBroadcastSystem":
+        """Bind every socket, distribute the peer map, start the hosts."""
+        if self._opened:
+            return self
+        self._opened = True
+        addresses = {}
+        for host_id, transport in self.transports.items():
+            await transport.open((host, 0))
+            sock = transport._sock
+            assert sock is not None
+            addresses[host_id] = sock.get_extra_info("sockname")[:2]
+        for transport in self.transports.values():
+            transport.peers.update(addresses)
+        for host_id in self.host_ids:
+            self.hosts[host_id].start()
+        return self
+
+    def close(self) -> None:
+        """Stop all hosts and close every socket."""
+        for host in self.hosts.values():
+            host.stop()
+        for transport in self.transports.values():
+            transport.close()
+        self._opened = False
+
+    # ------------------------------------------------------------------
+    # Workload and convergence (API parity with BroadcastSystem)
+    # ------------------------------------------------------------------
+
+    def broadcast_stream(
+        self,
+        count: int,
+        interval: float,
+        start_at: float = 0.0,
+        content: Callable[[int], object] = lambda seq: f"msg-{seq}",
+    ) -> None:
+        """Schedule ``count`` broadcasts, one every ``interval`` protocol
+        seconds, through the runtime's timers."""
+        if count < 0 or interval <= 0:
+            raise ValueError("count must be >= 0 and interval positive")
+        now = self.runtime.now()
+        for k in range(count):
+            delay = max(0.0, start_at + k * interval - now)
+            self.runtime.start_timer(
+                delay, lambda k=k: self.source.broadcast(content(k + 1)))
+
+    def all_delivered(self, n: int) -> bool:
+        """True when every host has delivered messages 1..n."""
+        return all(self.hosts[h].deliveries.has_all(n) for h in self.host_ids)
+
+    async def run_until_delivered(self, n: int, timeout: float,
+                                  check_period: float = 0.25) -> bool:
+        """Wait until 1..n reach all hosts; both times in protocol seconds."""
+        deadline = self.runtime.now() + timeout
+        while self.runtime.now() < deadline:
+            if self.all_delivered(n):
+                return True
+            await asyncio.sleep(check_period * self.runtime.time_scale)
+        return self.all_delivered(n)
+
+    def delivered_seqnos(self) -> Dict[str, List[int]]:
+        """Per-host sorted delivered sequence numbers (the parity unit)."""
+        return {str(h): sorted(r.seq for r in self.hosts[h].deliveries.records())
+                for h in self.host_ids}

@@ -1,0 +1,175 @@
+"""Real-socket backend: a :class:`Transport` over asyncio UDP.
+
+Each host gets one :class:`UdpTransport` bound to its own localhost UDP
+socket; a static ``peers`` map (host id → socket address) plays the role
+the routing tables play in-sim.  The service model is faithfully the
+paper's: fire-and-forget unicast datagrams, no delivery feedback, no
+topology information — and UDP genuinely loses, reorders, and (rarely)
+duplicates, which is exactly the environment the protocol's checksum /
+dedup / gap-fill machinery exists for.
+
+Framing is a pickled ``(src_name, stamped_at, payload)`` triple.  The
+wire payloads (:mod:`repro.core.wire`) are frozen dataclasses whose
+checksums hash stable numeric tuples, so a checksum computed by the
+sender verifies after unpickling on the receiver.
+
+The chaos/adversary surface is identical to the sim port: ``tap`` /
+``send_tap`` attributes with ``inject`` / ``send_raw`` as the
+tap-bypassing re-entry points, and the same trace kinds and metric
+names, so injectors and the analysis layer work unchanged on real
+sockets.
+
+Cost bits do not exist on real networks (no programmable servers to set
+them), so UDP deployments run the protocol in
+:class:`~repro.core.cluster.ClusterMode.STATIC` with an a-priori cluster
+map — the paper's "manual configuration" deployment option.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from typing import Dict, Optional, Tuple
+
+from ..net.addressing import HostId
+from ..net.message import Packet, Payload
+from .aio import AsyncioRuntime
+from .interfaces import ReceiveFn, SendTapFn, TapFn
+
+#: (ip, port) socket address.
+SockAddr = Tuple[str, int]
+
+
+class UdpTransport(asyncio.DatagramProtocol):
+    """One host's attachment point: one UDP socket, a static peer map."""
+
+    def __init__(
+        self,
+        runtime: AsyncioRuntime,
+        host_id: HostId,
+        peers: Dict[HostId, SockAddr],
+    ) -> None:
+        self.runtime = runtime
+        self.host_id = host_id
+        self.peers = dict(peers)
+        self._name = str(host_id)
+        self._on_receive: Optional[ReceiveFn] = None
+        #: optional inbound tap (chaos injection hook)
+        self.tap: Optional[TapFn] = None
+        #: optional outbound tap (adversary persona hook)
+        self.send_tap: Optional[SendTapFn] = None
+        self._sock: Optional[asyncio.DatagramTransport] = None
+        self._c_sent = None
+        self._c_recv = None
+        self._h_delay = None
+        #: datagrams that failed to parse (wrong pickle, bad frame shape)
+        self.malformed = 0
+
+    # -- socket lifecycle ----------------------------------------------
+
+    async def open(self, local_addr: SockAddr) -> "UdpTransport":
+        """Bind the UDP socket on ``local_addr`` and start receiving."""
+        loop = asyncio.get_running_loop()
+        sock, _ = await loop.create_datagram_endpoint(
+            lambda: self, local_addr=local_addr)
+        self._sock = sock  # type: ignore[assignment]
+        return self
+
+    def close(self) -> None:
+        """Close the socket; pending inbound datagrams are dropped."""
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def connection_made(self, transport) -> None:  # pragma: no cover - asyncio
+        self._sock = transport
+
+    def connection_lost(self, exc) -> None:  # pragma: no cover - asyncio
+        self._sock = None
+
+    # -- Transport contract --------------------------------------------
+
+    def set_receiver(self, callback: ReceiveFn) -> None:
+        """Register the application callback for inbound packets."""
+        self._on_receive = callback
+
+    def local_time(self) -> float:
+        """This host's clock: the shared runtime's protocol clock."""
+        return self.runtime.now()
+
+    def queue_length(self) -> int:
+        """Always 0: the kernel socket buffer is not observable."""
+        return 0
+
+    def send(self, dst: HostId, payload: Payload) -> None:
+        """Fire-and-forget unicast (runs the send tap first)."""
+        if dst == self.host_id:
+            raise ValueError(f"host {self.host_id} cannot send to itself")
+        send_tap = self.send_tap
+        if send_tap is not None and send_tap(dst, payload):
+            return
+        self.send_raw(dst, payload)
+
+    def send_raw(self, dst: HostId, payload: Payload) -> None:
+        """Frame and transmit, bypassing the send tap.
+
+        Sends before ``open()`` or after ``close()`` are dropped
+        silently — indistinguishable from datagram loss, which the
+        protocol tolerates by design.
+        """
+        sock = self._sock
+        if sock is None:
+            return
+        addr = self.peers.get(dst)
+        if addr is None:
+            raise KeyError(f"host {self.host_id} has no address for {dst}")
+        now = self.runtime.now()
+        frame = pickle.dumps((self._name, now, payload),
+                             protocol=pickle.HIGHEST_PROTOCOL)
+        runtime = self.runtime
+        if runtime.trace_sink.active:
+            runtime.trace("net.host_send", self._name, dst=str(dst),
+                          payload_kind=payload.kind, bytes=len(frame))
+        sent = self._c_sent
+        if sent is None:
+            sent = self._c_sent = runtime.counter("net.h2h.sent")
+        sent.inc()
+        runtime.counter(f"net.h2h.sent.kind.{payload.kind}").inc()
+        sock.sendto(frame, addr)
+
+    # -- receiving ------------------------------------------------------
+
+    def datagram_received(self, data: bytes, addr: SockAddr) -> None:
+        """Parse a frame into a :class:`Packet` and run the tap chain."""
+        try:
+            src_name, stamped_at, payload = pickle.loads(data)
+            src = HostId(src_name)
+        except Exception:
+            self.malformed += 1
+            self.runtime.counter("net.h2h.malformed").inc()
+            return
+        packet = Packet(src=src, dst=self.host_id, payload=payload,
+                        sent_at=float(stamped_at),
+                        stamped_at=float(stamped_at))
+        tap = self.tap
+        if tap is not None and tap(packet):
+            return
+        self.inject(packet)
+
+    def inject(self, packet: Packet) -> None:
+        """Deliver ``packet`` to the host, bypassing the tap."""
+        runtime = self.runtime
+        if runtime.trace_sink.active:
+            runtime.trace("net.host_recv", self._name, src=str(packet.src),
+                          payload_kind=packet.kind, cost_bit=packet.cost_bit,
+                          packet=packet.packet_id)
+        recv = self._c_recv
+        if recv is None:
+            recv = self._c_recv = runtime.counter("net.h2h.recv")
+            self._h_delay = runtime.histogram("net.h2h.delay")
+        recv.inc()
+        runtime.counter(f"net.h2h.recv.kind.{packet.kind}").inc()
+        self._h_delay.observe(  # type: ignore[union-attr]
+            max(0.0, runtime.now() - packet.sent_at))
+        if self._on_receive is not None:
+            self._on_receive(packet)

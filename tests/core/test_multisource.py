@@ -2,12 +2,8 @@
 
 import pytest
 
-from repro.core import (
-    MultiSourceBroadcastSystem,
-    PortMux,
-    ProtocolConfig,
-    TaggedPayload,
-)
+from repro.core import MultiSourceBroadcastSystem, ProtocolConfig
+from repro.core.multisource import PortMux, TaggedPayload
 from repro.net import HostId, RawPayload, wan_of_lans
 from repro.sim import Simulator
 

@@ -2,13 +2,8 @@
 
 import pytest
 
-from repro.core import (
-    BroadcastSystem,
-    ControlBundle,
-    MultiSourceBroadcastSystem,
-    PiggybackPort,
-    ProtocolConfig,
-)
+from repro.core import BroadcastSystem, MultiSourceBroadcastSystem, ProtocolConfig
+from repro.core.piggyback import ControlBundle, PiggybackPort
 from repro.core.wire import DetachNotice, InfoMsg
 from repro.core.seqnoset import SeqnoSet
 from repro.net import HostId, RawPayload, wan_of_lans

@@ -1,0 +1,166 @@
+"""Delivery-signature pins: the sim backend is a pure adapter.
+
+The sans-IO refactor (DESIGN.md §14) moved every protocol machine from
+direct ``Simulator`` access onto the narrow :class:`repro.io.Runtime` /
+:class:`repro.io.Transport` interfaces.  The contract is that the sim
+backend is a *pure adapter*: running the exact same seeded scenario
+before and after the refactor must produce byte-identical delivery
+records — same sequence numbers, same timestamps, same suppliers, same
+gap-fill flags, at every host.
+
+``pinned_signatures.json`` was generated from the pre-refactor tree
+(``tools: python -m tests.io.test_signature_pin`` regenerates it; only
+do that for a change that *intends* to alter protocol behavior).  Each
+scenario is shaped after one of the tier-1 experiments:
+
+* ``e2_plain``   — E2-shaped: clean 2-cluster delivery, fixed timers;
+* ``e20_churn``  — E20-shaped: host crash/recovery churn with stable lag;
+* ``e21_chaos``  — E21-shaped: adaptive control plane under packet
+  corruption/delay/replay plus two mid-stream outages.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.baseline.basic import BasicBroadcastSystem, BasicConfig
+from repro.baseline.epidemic import EpidemicBroadcastSystem, EpidemicConfig
+from repro.chaos import (
+    ChaosPlan,
+    ChaosSpec,
+    HostChurnSpec,
+    HostOutageSpec,
+    PacketFaultSpec,
+)
+from repro.core import BroadcastSystem, ProtocolConfig
+from repro.fuzz.properties import delivery_signature
+from repro.net import expensive_spec, wan_of_lans
+from repro.sim import Simulator
+
+PIN_FILE = pathlib.Path(__file__).with_name("pinned_signatures.json")
+
+_DATA_BITS = 4_000
+
+
+def _run_e2_plain(seed: int = 11) -> str:
+    """E2-shaped: clean seed-matched delivery over 2 clusters of 2."""
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=2, hosts_per_cluster=2, backbone="line")
+    config = ProtocolConfig.for_scale(4, data_size_bits=_DATA_BITS)
+    system = BroadcastSystem(built, config=config).start()
+    system.broadcast_stream(6, interval=1.0, start_at=2.0)
+    sim.run(until=120.0)
+    return delivery_signature(system)
+
+
+def _run_e20_churn(seed: int = 18) -> str:
+    """E20-shaped: host churn with a stable-storage lag, tree protocol."""
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=3, hosts_per_cluster=2, backbone="line")
+    config = ProtocolConfig.for_scale(6, data_size_bits=_DATA_BITS,
+                                      crash_stable_lag=2)
+    system = BroadcastSystem(built, config=config).start()
+    churned = tuple(str(h) for h in built.hosts if h != system.source_id)
+    ChaosPlan(sim, system, ChaosSpec(
+        heal_by=60.0,
+        host_churn=(HostChurnSpec(churned, mean_up=25.0, mean_down=5.0),),
+    )).start()
+    system.broadcast_stream(12, interval=1.0, start_at=2.0)
+    sim.run(until=150.0)
+    return delivery_signature(system)
+
+
+def _run_e21_chaos(seed: int = 21) -> str:
+    """E21-shaped: adaptive control plane under packet chaos + outages."""
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=3, hosts_per_cluster=2, backbone="line",
+                        expensive=expensive_spec(loss_prob=0.10))
+    config = ProtocolConfig.for_scale(6, data_size_bits=_DATA_BITS,
+                                      crash_stable_lag=1, adaptive=True)
+    system = BroadcastSystem(built, config=config).start()
+    victims = [str(h) for h in built.hosts if h != system.source_id]
+    ChaosPlan(sim, system, ChaosSpec(
+        heal_by=40.0,
+        host_outages=(HostOutageSpec(victims[1], 10.0, 14.0),
+                      HostOutageSpec(victims[-1], 18.0, 22.0)),
+        packet_faults=(PacketFaultSpec(
+            start=2.0, end=40.0, corrupt_prob=0.08, delay_prob=0.3,
+            delay=0.8, replay_prob=0.05, replay_lag=2.0),),
+    )).start()
+    system.broadcast_stream(10, interval=1.0, start_at=2.0)
+    sim.run(until=150.0)
+    return delivery_signature(system)
+
+
+def _run_basic_churn(seed: int = 18) -> str:
+    """E20-shaped companion: the basic algorithm under identical churn."""
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=3, hosts_per_cluster=2, backbone="line")
+    system = BasicBroadcastSystem(built, config=BasicConfig(
+        data_size_bits=_DATA_BITS, crash_stable_lag=2)).start()
+    churned = tuple(str(h) for h in built.hosts if h != system.source_id)
+    ChaosPlan(sim, system, ChaosSpec(
+        heal_by=60.0,
+        host_churn=(HostChurnSpec(churned, mean_up=25.0, mean_down=5.0),),
+    )).start()
+    system.broadcast_stream(12, interval=1.0, start_at=2.0)
+    sim.run(until=150.0)
+    return delivery_signature(system)
+
+
+def _run_epidemic_plain(seed: int = 12) -> str:
+    """Clean anti-entropy run (pins the epidemic baseline's port too)."""
+    sim = Simulator(seed=seed)
+    built = wan_of_lans(sim, clusters=2, hosts_per_cluster=2, backbone="line")
+    system = EpidemicBroadcastSystem(built, config=EpidemicConfig(
+        data_size_bits=_DATA_BITS)).start()
+    system.broadcast_stream(6, interval=1.0, start_at=2.0)
+    sim.run(until=120.0)
+    return delivery_signature(system)
+
+
+SCENARIOS = {
+    "e2_plain": _run_e2_plain,
+    "e20_churn": _run_e20_churn,
+    "e21_chaos": _run_e21_chaos,
+    "basic_churn": _run_basic_churn,
+    "epidemic_plain": _run_epidemic_plain,
+}
+
+
+def _load_pins() -> dict:
+    return json.loads(PIN_FILE.read_text(encoding="utf-8"))
+
+
+def test_pins_cover_every_scenario():
+    pins = _load_pins()
+    assert sorted(pins) == sorted(SCENARIOS)
+
+
+def test_e2_plain_signature_pinned():
+    assert _run_e2_plain() == _load_pins()["e2_plain"]
+
+
+def test_e20_churn_signature_pinned():
+    assert _run_e20_churn() == _load_pins()["e20_churn"]
+
+
+def test_e21_chaos_signature_pinned():
+    assert _run_e21_chaos() == _load_pins()["e21_chaos"]
+
+
+def test_basic_churn_signature_pinned():
+    assert _run_basic_churn() == _load_pins()["basic_churn"]
+
+
+def test_epidemic_plain_signature_pinned():
+    assert _run_epidemic_plain() == _load_pins()["epidemic_plain"]
+
+
+if __name__ == "__main__":  # pragma: no cover - pin regeneration tool
+    pins = {name: fn() for name, fn in sorted(SCENARIOS.items())}
+    PIN_FILE.write_text(json.dumps(pins, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {PIN_FILE}")
+    for name, value in pins.items():
+        print(f"  {name}: {value}")

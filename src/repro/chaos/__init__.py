@@ -9,6 +9,12 @@ one declarative, seed-deterministic spec with a guaranteed heal-by
 horizon — after which every injected fault is provably repaired, so
 tests can assert the paper's eventual-delivery claim.
 
+The host and packet injectors are backend-agnostic (sans-IO): they
+speak only the :class:`~repro.io.interfaces.Runtime` contract and the
+uniform transport tap surface, so the same seeded spec also runs over
+real UDP sockets via :class:`~repro.chaos.nemesis.ChaosNemesis`, the
+wall-clock counterpart of :class:`ChaosPlan`.
+
 :mod:`repro.chaos.adversary` goes past faults entirely: adversarial
 (Byzantine-ish) host personas that keep misbehaving *through* the heal
 horizon, against which the delivery claim is asserted over correct
@@ -17,6 +23,7 @@ hosts only (see :mod:`repro.verify.containment`).
 
 from .adversary import PERSONAS, AdversaryHarness, AdversarySpec
 from .hosts import HostCrashSchedule, HostFlapper
+from .nemesis import ChaosNemesis, validate_udp_spec
 from .packets import PacketChaos, PacketFaultSpec
 from .plan import (
     ChaosPlan,
@@ -33,6 +40,7 @@ from .plan import (
 __all__ = [
     "AdversaryHarness",
     "AdversarySpec",
+    "ChaosNemesis",
     "ChaosPlan",
     "ChaosSpec",
     "PERSONAS",
@@ -47,4 +55,5 @@ __all__ = [
     "PartitionSpec",
     "PartitionWindowSpec",
     "ServerOutageSpec",
+    "validate_udp_spec",
 ]

@@ -2,18 +2,27 @@
 
 Both injectors drive a broadcast *system*'s ``crash_host`` /
 ``recover_host`` lifecycle hooks (duck-typed: the tree protocol's
-:class:`~repro.core.engine.BroadcastSystem` and the baseline systems
-all expose them), so one chaos harness exercises every protocol under
-test.  As with link and server failures, the injection is silent — the
-protocol must discover crashed peers through its own timeouts.
+:class:`~repro.core.engine.BroadcastSystem`, the baseline systems, and
+the real-socket :class:`~repro.io.node.UdpBroadcastSystem` all expose
+them), so one chaos harness exercises every protocol under test.  As
+with link and server failures, the injection is silent — the protocol
+must discover crashed peers through its own timeouts.
+
+Backend-agnostic since the sans-IO port: scheduling goes through the
+:class:`~repro.io.interfaces.Runtime` contract (``start_timer`` /
+``cancel_timer`` / ``rng``), so the same seeded injectors run on the
+discrete-event simulator and on the wall-clock asyncio backend.  A bare
+:class:`~repro.sim.Simulator` is still accepted and coerced via
+:func:`~repro.io.interfaces.as_runtime`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from functools import partial
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from ..io.interfaces import Runtime, TimerHandle, as_runtime
 from ..net import HostId
-from ..sim import Event, Simulator
 
 #: notification hook: called with the host id right after a crash is
 #: applied, so composing injectors (chiefly PacketChaos, via ChaosPlan)
@@ -21,24 +30,35 @@ from ..sim import Event, Simulator
 CrashHook = Optional[Callable[[HostId], None]]
 
 
+def _default_churn_hosts(system: Any) -> List[HostId]:
+    """Every host but the source, on any system flavor.
+
+    Sim-backed systems carry the topology in ``built``; UDP deployments
+    list their members directly in ``hosts``.
+    """
+    built = getattr(system, "built", None)
+    members = built.hosts if built is not None else list(system.hosts)
+    return [h for h in members if h != system.source_id]
+
+
 class HostCrashSchedule:
     """Scheduled host crashes and recoveries (chainable, like the link
     and server schedules in :mod:`repro.net.failures`)."""
 
-    def __init__(self, sim: Simulator, system,
+    def __init__(self, sim: Any, system: Any,
                  on_crash: CrashHook = None) -> None:
-        self.sim = sim
+        self.runtime: Runtime = as_runtime(sim)
         self.system = system
         self._on_crash = on_crash
 
     def crash(self, time: float, host: HostId) -> "HostCrashSchedule":
-        """Crash ``host`` at ``time`` (chainable)."""
-        self.sim.schedule_at(time, self._apply, host, False)
+        """Crash ``host`` at protocol time ``time`` (chainable)."""
+        self._at(time, partial(self._apply, host, False))
         return self
 
     def recover(self, time: float, host: HostId) -> "HostCrashSchedule":
-        """Recover ``host`` at ``time`` (chainable)."""
-        self.sim.schedule_at(time, self._apply, host, True)
+        """Recover ``host`` at protocol time ``time`` (chainable)."""
+        self._at(time, partial(self._apply, host, True))
         return self
 
     def outage(self, start: float, end: float, host: HostId) -> "HostCrashSchedule":
@@ -47,6 +67,9 @@ class HostCrashSchedule:
             raise ValueError(f"outage end {end} must be after start {start}")
         return self.crash(start, host).recover(end, host)
 
+    def _at(self, when: float, callback: Callable[[], None]) -> None:
+        self.runtime.start_timer(when - self.runtime.now(), callback)
+
     def _apply(self, host: HostId, up: bool) -> None:
         if up:
             self.system.recover_host(host)
@@ -54,8 +77,8 @@ class HostCrashSchedule:
             self.system.crash_host(host)
             if self._on_crash is not None:
                 self._on_crash(host)
-        self.sim.trace.emit("failure.apply", "schedule", host=str(host), up=up)
-        self.sim.metrics.counter(
+        self.runtime.trace("failure.apply", "schedule", host=str(host), up=up)
+        self.runtime.counter(
             "net.failures.host.up" if up else "net.failures.host.down").inc()
 
 
@@ -64,15 +87,15 @@ class HostFlapper:
 
     Mirrors :class:`repro.net.failures.LinkFlapper`: each managed host
     alternates up/down with exponentially distributed durations drawn
-    from one dedicated RNG stream, so a given simulator seed yields an
-    identical churn sequence.  The source is excluded by default — pass
-    ``hosts`` explicitly to churn it too.
+    from one dedicated RNG stream, so a given seed yields an identical
+    churn sequence.  The source is excluded by default — pass ``hosts``
+    explicitly to churn it too.
     """
 
     def __init__(
         self,
-        sim: Simulator,
-        system,
+        sim: Any,
+        system: Any,
         hosts: Optional[Iterable[HostId]] = None,
         mean_up: float = 30.0,
         mean_down: float = 5.0,
@@ -81,21 +104,21 @@ class HostFlapper:
     ) -> None:
         if mean_up <= 0 or mean_down <= 0:
             raise ValueError("mean_up and mean_down must be positive")
-        self.sim = sim
+        self.runtime: Runtime = as_runtime(sim)
         self.system = system
         self._on_crash = on_crash
         if hosts is None:
-            hosts = [h for h in system.built.hosts if h != system.source_id]
+            hosts = _default_churn_hosts(system)
         self.hosts: List[HostId] = sorted(hosts)
         if not self.hosts:
             raise ValueError("HostFlapper needs at least one host to churn")
         self.mean_up = mean_up
         self.mean_down = mean_down
-        self._rng = sim.rng.stream(rng_stream)
+        self._rng = self.runtime.rng(rng_stream)
         self._running = False
-        #: per-host pending transition event, cancelled on stop() so a
+        #: per-host pending transition timer, cancelled on stop() so a
         #: stopped flapper can never crash/recover a host afterwards
-        self._pending: Dict[HostId, Event] = {}
+        self._pending: Dict[HostId, TimerHandle] = {}
 
     def start(self) -> "HostFlapper":
         """Start periodic activity; returns self for chaining."""
@@ -108,18 +131,20 @@ class HostFlapper:
         """Stop all transitions, including any already scheduled
         (possibly leaving hosts crashed — see :meth:`heal`).
 
-        Pending crash/recover events are cancelled — without that, a
+        Pending crash/recover timers are cancelled — without that, a
         timer armed before stop() could crash a host *after* a chaos
         plan's heal-by horizon and break its guarantee.
         """
         self._running = False
-        for event in self._pending.values():
-            self.sim.try_cancel(event)
+        for handle in self._pending.values():
+            self.runtime.cancel_timer(handle)
         self._pending.clear()
 
-    def _arm(self, mean: float, action, host: HostId) -> None:
-        self._pending[host] = self.sim.schedule(
-            self._rng.expovariate(1.0 / mean), action, host)
+    def _arm(self, mean: float, action: Callable[[HostId], None],
+             host: HostId) -> None:
+        delay = self._rng.expovariate(1.0 / mean)
+        self._pending[host] = self.runtime.start_timer(
+            delay, partial(action, host))
 
     def heal(self) -> None:
         """Stop and recover every managed host still down.
@@ -138,7 +163,7 @@ class HostFlapper:
         self.system.crash_host(host)
         if self._on_crash is not None:
             self._on_crash(host)
-        self.sim.metrics.counter("net.failures.host.down").inc()
+        self.runtime.counter("net.failures.host.down").inc()
         self._arm(self.mean_down, self._recover, host)
 
     def _recover(self, host: HostId) -> None:
@@ -146,5 +171,5 @@ class HostFlapper:
             return
         self._pending.pop(host, None)
         self.system.recover_host(host)
-        self.sim.metrics.counter("net.failures.host.up").inc()
+        self.runtime.counter("net.failures.host.up").inc()
         self._arm(self.mean_up, self._crash, host)

@@ -2,10 +2,12 @@
 
 :class:`PacketChaos` attacks the protocol *below* the payload layer but
 *above* the links: it taps chosen hosts' inbound ports
-(:attr:`repro.net.hostiface.HostPort.tap`) and, on a seeded schedule,
+(:attr:`repro.io.interfaces.Transport.tap`) and, on a seeded schedule,
 
-* **corrupts** wire messages (flips the payload checksum, modelling
-  in-flight bit rot — receivers must validate and drop);
+* **drops** wire messages outright (datagram loss concentrated on a
+  victim — gap filling must repair the holes);
+* **corrupts** them (flips the payload checksum, modelling in-flight
+  bit rot — receivers must validate and drop);
 * **duplicates** them (a second copy arrives shortly after — receivers
   must suppress duplicate control traffic);
 * **delays** them (adversarial timing skew — adaptive deadlines must
@@ -22,19 +24,29 @@ every other injector through :class:`repro.chaos.plan.ChaosPlan`
 ``stop()`` cancels every pending injection, so no chaos-made packet can
 arrive after the plan has healed.
 
-Determinism: all draws come from one named RNG stream, and packet
-arrival order is itself deterministic, so a (seed, spec) pair replays
-the identical fault sequence.
+Backend-agnostic since the sans-IO port: the injector speaks only the
+:class:`~repro.io.interfaces.Runtime` contract (``start_timer`` /
+``cancel_timer`` / ``rng`` / ``trace`` / ``counter``) and the uniform
+``tap``/``inject`` port surface every :class:`~repro.io.interfaces.
+Transport` exposes, so the same seeded spec runs against the
+discrete-event network *and* against real UDP sockets
+(:class:`~repro.chaos.nemesis.ChaosNemesis`).  The port surface is
+either a sim ``Network`` (``hosts()``/``host_port()``) or any mapping
+of host id → transport (e.g. ``UdpBroadcastSystem.transports``).
+
+Determinism: all draws come from one named RNG stream, and on the sim
+backend packet arrival order is itself deterministic, so a (seed, spec)
+pair replays the identical fault sequence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.wire import corrupted_copy
+from ..io.interfaces import Runtime, TimerHandle, Transport, as_runtime
 from ..net import HostId, Packet
-from ..sim import Event, Simulator
 
 _INF = float("inf")
 
@@ -46,13 +58,14 @@ class PacketFaultSpec:
     ``src``/``dst`` name hosts (``"*"`` matches any); the rule applies
     to packets *received by* ``dst`` during ``[start, end)``.  Each
     probability is drawn independently per matching packet, in the
-    fixed order corrupt → duplicate → delay → replay.
+    fixed order drop → corrupt → duplicate → replay → delay.
     """
 
     src: str = "*"
     dst: str = "*"
     start: float = 0.0
     end: float = _INF
+    drop_prob: float = 0.0
     corrupt_prob: float = 0.0
     dup_prob: float = 0.0
     delay_prob: float = 0.0
@@ -65,7 +78,8 @@ class PacketFaultSpec:
     dup_lag: float = 0.05
 
     def __post_init__(self) -> None:
-        for name in ("corrupt_prob", "dup_prob", "delay_prob", "replay_prob"):
+        for name in ("drop_prob", "corrupt_prob", "dup_prob", "delay_prob",
+                     "replay_prob"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(
@@ -82,15 +96,16 @@ class PacketChaos:
 
     def __init__(
         self,
-        sim: Simulator,
-        network,
+        runtime: Any,
+        ports: Any,
         specs: Sequence[PacketFaultSpec],
         rng_stream: str = "chaos.packets",
     ) -> None:
-        self.sim = sim
-        self.network = network
+        self.runtime: Runtime = as_runtime(runtime)
+        #: the port surface: a sim ``Network`` or a host-id → transport map
+        self.ports = ports
         self.specs: Tuple[PacketFaultSpec, ...] = tuple(specs)
-        self._rng = sim.rng.stream(rng_stream)
+        self._rng = self.runtime.rng(rng_stream)
         self._running = False
         #: dst host -> its matching rules, resolved once at start()
         self._rules: Dict[HostId, List[PacketFaultSpec]] = {}
@@ -99,7 +114,19 @@ class PacketChaos:
         self._tapped: List[Tuple] = []
         #: pending scheduled injections, keyed to the destination host so
         #: stop() — and a mid-window crash of that host — can cancel them
-        self._pending: Dict[Event, HostId] = {}
+        self._pending: Dict[TimerHandle, HostId] = {}
+
+    # -- port surface ------------------------------------------------------
+
+    def _host_ids(self) -> List[HostId]:
+        if isinstance(self.ports, Mapping):
+            return list(self.ports)
+        return list(self.ports.hosts())
+
+    def _port_for(self, host_id: HostId) -> Transport:
+        if isinstance(self.ports, Mapping):
+            return self.ports[host_id]
+        return self.ports.host_port(host_id)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -108,18 +135,18 @@ class PacketChaos:
         if self._running:
             return self
         self._running = True
-        for host_id in self.network.hosts():
+        for host_id in self._host_ids():
             rules = [s for s in self.specs
                      if s.dst == "*" or s.dst == str(host_id)]
             if not rules:
                 continue
             self._rules[host_id] = rules
-            port = self.network.host_port(host_id)
+            port = self._port_for(host_id)
             tap = self._make_tap(port)
             port.tap = tap
             self._tapped.append((port, tap))
-        self.sim.trace.emit("chaos.packets.start", "packet_chaos",
-                            tapped=len(self._tapped))
+        self.runtime.trace("chaos.packets.start", "packet_chaos",
+                           tapped=len(self._tapped))
         return self
 
     def stop(self) -> None:
@@ -129,10 +156,10 @@ class PacketChaos:
             if port.tap is tap:
                 port.tap = None
         self._tapped.clear()
-        for event in self._pending:
-            self.sim.try_cancel(event)
+        for handle in self._pending:
+            self.runtime.cancel_timer(handle)
         self._pending.clear()
-        self.sim.trace.emit("chaos.packets.stop", "packet_chaos")
+        self.runtime.trace("chaos.packets.stop", "packet_chaos")
 
     def cancel_pending_for(self, host_id: HostId) -> None:
         """Cancel pending injections destined for ``host_id``.
@@ -144,16 +171,16 @@ class PacketChaos:
         packets from a network interaction that predates its crash —
         exactly the stale state the crash is supposed to destroy.
         """
-        stale = [event for event, dst in self._pending.items()
+        stale = [handle for handle, dst in self._pending.items()
                  if dst == host_id]
-        for event in stale:
-            self.sim.try_cancel(event)
-            del self._pending[event]
+        for handle in stale:
+            self.runtime.cancel_timer(handle)
+            del self._pending[handle]
         if stale:
-            self.sim.metrics.counter(
+            self.runtime.counter(
                 "chaos.packet.cancelled_crashed").inc(len(stale))
-            self.sim.trace.emit("chaos.packets.cancel_crashed",
-                                str(host_id), cancelled=len(stale))
+            self.runtime.trace("chaos.packets.cancel_crashed",
+                               str(host_id), cancelled=len(stale))
 
     # -- injection ---------------------------------------------------------
 
@@ -173,7 +200,7 @@ class PacketChaos:
         def tap(packet: Packet) -> bool:
             if not self._running:
                 return False
-            spec = self._match(rules, packet.src, self.sim.now)
+            spec = self._match(rules, packet.src, self.runtime.now())
             if spec is None:
                 return False
             return self._apply(spec, port, packet)
@@ -183,7 +210,12 @@ class PacketChaos:
     def _apply(self, spec: PacketFaultSpec, port, packet: Packet) -> bool:
         """Draw and apply ``spec``'s faults; True if the packet was consumed."""
         rng = self._rng
-        metrics = self.sim.metrics
+        runtime = self.runtime
+        if spec.drop_prob > 0 and rng.random() < spec.drop_prob:
+            runtime.counter("chaos.packet.dropped").inc()
+            runtime.trace("chaos.packet.drop", str(port.host_id),
+                          src=str(packet.src), packet=packet.packet_id)
+            return True  # lost: nothing arrives, nothing rides along
         pkt = packet
         touched = False
         if spec.corrupt_prob > 0 and rng.random() < spec.corrupt_prob:
@@ -192,21 +224,21 @@ class PacketChaos:
                 pkt = packet.fork()
                 pkt.payload = mangled  # type: ignore[assignment]
                 touched = True
-                metrics.counter("chaos.packet.corrupted").inc()
-                self.sim.trace.emit("chaos.packet.corrupt", str(port.host_id),
-                                    src=str(packet.src), packet=packet.packet_id)
+                runtime.counter("chaos.packet.corrupted").inc()
+                runtime.trace("chaos.packet.corrupt", str(port.host_id),
+                              src=str(packet.src), packet=packet.packet_id)
         if spec.dup_prob > 0 and rng.random() < spec.dup_prob:
-            metrics.counter("chaos.packet.duplicated").inc()
+            runtime.counter("chaos.packet.duplicated").inc()
             self._later(port, pkt.fork(), spec.dup_lag)
         if spec.replay_prob > 0 and rng.random() < spec.replay_prob:
-            metrics.counter("chaos.packet.replayed").inc()
+            runtime.counter("chaos.packet.replayed").inc()
             self._later(port, pkt.fork(), spec.replay_lag)
         if spec.delay_prob > 0 and rng.random() < spec.delay_prob:
-            metrics.counter("chaos.packet.delayed").inc()
+            runtime.counter("chaos.packet.delayed").inc()
             extra = spec.delay * rng.uniform(0.5, 1.5)
-            self.sim.trace.emit("chaos.packet.delay", str(port.host_id),
-                                src=str(packet.src), packet=packet.packet_id,
-                                extra=extra)
+            runtime.trace("chaos.packet.delay", str(port.host_id),
+                          src=str(packet.src), packet=packet.packet_id,
+                          extra=extra)
             self._later(port, pkt, extra)
             return True  # the original does not arrive now
         if touched:
@@ -219,8 +251,8 @@ class PacketChaos:
         host) for stop() and :meth:`cancel_pending_for`."""
 
         def fire() -> None:
-            self._pending.pop(event, None)
+            self._pending.pop(handle, None)
             port.inject(pkt)
 
-        event = self.sim.schedule(delay, fire)
-        self._pending[event] = port.host_id
+        handle = self.runtime.start_timer(delay, fire)
+        self._pending[handle] = port.host_id

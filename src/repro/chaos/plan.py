@@ -15,6 +15,12 @@ injection itself.
 Determinism: all randomness (the churners') flows from the simulator's
 seeded RNG streams, so a (seed, spec) pair replays the identical fault
 sequence.
+
+:class:`ChaosPlan` itself drives a *simulated* network (link, server,
+and partition faults are sim-network constructs); its host-crash and
+packet-fault legs are backend-agnostic and shared with
+:class:`~repro.chaos.nemesis.ChaosNemesis`, the wall-clock orchestrator
+that aims the same :class:`ChaosSpec` at a real UDP deployment.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Tuple
 
+from ..io.interfaces import Runtime, as_runtime
 from ..net import (
     FailureSchedule,
     HostId,
@@ -35,6 +42,8 @@ from ..sim import Simulator
 from .adversary import AdversaryHarness, AdversarySpec
 from .hosts import HostCrashSchedule, HostFlapper
 from .packets import PacketChaos, PacketFaultSpec
+
+_INF = float("inf")
 
 
 @dataclass(frozen=True)
@@ -126,9 +135,11 @@ class ChaosSpec:
     window_partitions: Tuple[PartitionWindowSpec, ...] = ()
     host_churn: Tuple[HostChurnSpec, ...] = ()
     link_churn: Tuple[LinkChurnSpec, ...] = ()
-    #: packet-level faults (corrupt/duplicate/delay/replay); an open
-    #: ``end`` is clamped to ``heal_by``, and the injector is stopped —
-    #: pending injections cancelled — when the horizon arrives
+    #: packet-level faults (drop/corrupt/duplicate/delay/replay); a
+    #: finite rule window must end at or before ``heal_by``, an open
+    #: ``end`` (the default, +inf) is clamped to it, and the injector
+    #: is stopped — pending injections cancelled — when the horizon
+    #: arrives
     packet_faults: Tuple[PacketFaultSpec, ...] = ()
     #: adversarial (Byzantine-ish) host personas.  Deliberately EXEMPT
     #: from the heal-by validation: a misbehaving host is not a fault
@@ -160,6 +171,11 @@ class ChaosSpec:
                 raise ValueError(
                     f"{fault}: starts at or after the heal_by horizon "
                     f"{self.heal_by}")
+            if fault.end != _INF and fault.end > self.heal_by:
+                raise ValueError(
+                    f"{fault}: packet-fault window ends at {fault.end}, "
+                    f"after the heal_by horizon {self.heal_by} "
+                    f"(use the default end=inf to run until the heal)")
 
 
 class ChaosPlan:
@@ -168,6 +184,10 @@ class ChaosPlan:
     def __init__(self, sim: Simulator, system, spec: ChaosSpec,
                  rng_prefix: str = "chaos") -> None:
         self.sim = sim
+        #: the backend-agnostic contract used for the heal timer and the
+        #: host/packet injectors (link/server/partition injectors still
+        #: need the raw simulated network below)
+        self.runtime: Runtime = as_runtime(sim)
         self.system = system
         self.spec = spec
         self.network = system.network
@@ -184,7 +204,7 @@ class ChaosPlan:
         """Install every injector and schedule the heal; returns self."""
         spec = self.spec
         if spec.host_outages:
-            hosts = HostCrashSchedule(self.sim, self.system,
+            hosts = HostCrashSchedule(self.runtime, self.system,
                                       on_crash=self._on_host_crash)
             for outage in spec.host_outages:
                 hosts.outage(outage.start, outage.end, HostId(outage.host))
@@ -210,7 +230,7 @@ class ChaosPlan:
                                 windowed.window, windowed.until)
         for idx, churn in enumerate(spec.host_churn):
             self._host_flappers.append(HostFlapper(
-                self.sim, self.system,
+                self.runtime, self.system,
                 hosts=[HostId(h) for h in churn.hosts],
                 mean_up=churn.mean_up, mean_down=churn.mean_down,
                 rng_stream=f"{self._rng_prefix}.hosts.{idx}",
@@ -225,7 +245,7 @@ class ChaosPlan:
             clamped = tuple(replace(f, end=min(f.end, spec.heal_by))
                             for f in spec.packet_faults)
             self._packet_chaos.append(PacketChaos(
-                self.sim, self.network, clamped,
+                self.runtime, self.network, clamped,
                 rng_stream=f"{self._rng_prefix}.packets").start())
         if spec.adversaries:
             # Installed after PacketChaos so persona taps chain over the
@@ -234,8 +254,9 @@ class ChaosPlan:
             self._adversaries.append(AdversaryHarness(
                 self.sim, self.system, spec.adversaries,
                 rng_stream=f"{self._rng_prefix}.adversary").start())
-        self.sim.schedule_at(self.spec.heal_by, self._heal)
-        self.sim.trace.emit("chaos.start", "plan", heal_by=self.spec.heal_by)
+        self.runtime.start_timer(self.spec.heal_by - self.runtime.now(),
+                                 self._heal)
+        self.runtime.trace("chaos.start", "plan", heal_by=self.spec.heal_by)
         return self
 
     def adversary_hosts(self) -> frozenset:
@@ -264,4 +285,4 @@ class ChaosPlan:
         for a, b in self._churned_links:
             self.network.set_link_state(a, b, up=True)
         self.healed = True
-        self.sim.trace.emit("chaos.healed", "plan")
+        self.runtime.trace("chaos.healed", "plan")

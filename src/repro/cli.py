@@ -8,6 +8,7 @@ One front door for the three historical entry points::
     python -m repro fuzz run --trials 50 --seed 7 --jobs 4
     python -m repro fuzz replay fuzz-artifacts/repro-7-3.json
     python -m repro demo udp [--messages N] [--seed N] [--time-scale S]
+    python -m repro demo udp-chaos [--messages N] [--seed N] [--time-scale S]
 
 Flags are consistent across subcommands: ``--seed`` overrides the RNG
 seed, ``--jobs`` fans work out over the process-pool engine
@@ -272,13 +273,17 @@ def run_sweep_command(args: argparse.Namespace) -> int:
 
 
 def add_demo_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("what", choices=["udp"],
+    parser.add_argument("what", choices=["udp", "udp-chaos"],
                         help="udp: run the seed-matched scenario once in-sim "
                              "and once over localhost UDP sockets, then "
-                             "compare per-host delivered seqno sets")
-    parser.add_argument("--messages", type=int, default=5, metavar="N",
+                             "compare per-host delivered seqno sets; "
+                             "udp-chaos: same, with an identical seeded "
+                             "ChaosSpec (host crash + packet loss/corruption) "
+                             "injected on both backends and the invariant "
+                             "monitor asserting zero stable violations")
+    parser.add_argument("--messages", type=int, default=None, metavar="N",
                         help="broadcasts to deliver on each backend "
-                             "(default 5)")
+                             "(default 5, or 8 for udp-chaos)")
     parser.add_argument("--seed", type=int, default=7,
                         help="seed shared by both backends (default 7)")
     parser.add_argument("--time-scale", type=float, default=0.05,
@@ -288,10 +293,18 @@ def add_demo_args(parser: argparse.ArgumentParser) -> None:
 
 
 def run_demo_command(args: argparse.Namespace) -> int:
+    if args.what == "udp-chaos":
+        from .io.crosscheck import demo_udp_chaos
+
+        chaos_result = demo_udp_chaos(
+            messages=args.messages if args.messages is not None else 8,
+            time_scale=args.time_scale, seed=args.seed)
+        return 0 if chaos_result.ok else 1
     from .io.crosscheck import demo_udp
 
-    result = demo_udp(messages=args.messages, time_scale=args.time_scale,
-                      seed=args.seed)
+    result = demo_udp(
+        messages=args.messages if args.messages is not None else 5,
+        time_scale=args.time_scale, seed=args.seed)
     return 0 if result.match else 1
 
 

@@ -44,10 +44,14 @@ _LAZY = {
     "UdpTransport": "udp",
     "UdpBroadcastSystem": "node",
     "cluster_names": "node",
+    "ChaosCrosscheckResult": "crosscheck",
+    "ChaosCrosscheckScenario": "crosscheck",
     "CrosscheckResult": "crosscheck",
     "CrosscheckScenario": "crosscheck",
+    "chaos_crosscheck": "crosscheck",
     "crosscheck": "crosscheck",
     "demo_udp": "crosscheck",
+    "demo_udp_chaos": "crosscheck",
 }
 
 
@@ -64,6 +68,8 @@ __all__ = [
     "AsyncioPeriodic",
     "AsyncioRuntime",
     "AsyncioTimer",
+    "ChaosCrosscheckResult",
+    "ChaosCrosscheckScenario",
     "CounterLike",
     "CrosscheckResult",
     "CrosscheckScenario",
@@ -80,7 +86,9 @@ __all__ = [
     "UdpBroadcastSystem",
     "UdpTransport",
     "as_runtime",
+    "chaos_crosscheck",
     "cluster_names",
     "crosscheck",
     "demo_udp",
+    "demo_udp_chaos",
 ]

@@ -159,6 +159,13 @@ class Runtime(Protocol):
         """Emit one structured trace record (observability only)."""
         ...
 
+    @property
+    def trace_sink(self) -> Any:
+        """The tracer behind ``trace`` — the *read* side of the trace
+        stream (``records(kind=...)``), consumed by oracles such as
+        :class:`repro.verify.monitor.InvariantMonitor`."""
+        ...
+
     def counter(self, name: str) -> CounterLike:
         """The named counter, created on first use."""
         ...

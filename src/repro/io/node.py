@@ -155,6 +155,31 @@ class UdpBroadcastSystem:
         self._opened = False
 
     # ------------------------------------------------------------------
+    # Failure lifecycle (the surface the chaos injectors drive)
+    # ------------------------------------------------------------------
+
+    def crash_host(self, host_id: HostId) -> None:
+        """Crash one host (volatile state lost, silent; idempotent).
+
+        The socket stays bound — a crashed host drops inbound datagrams
+        itself, exactly like the sim model (the network keeps routing to
+        a dead host; it just answers nothing).
+        """
+        self.hosts[host_id].crash()
+
+    def recover_host(self, host_id: HostId) -> None:
+        """Recover a crashed host (no-op when it is up)."""
+        self.hosts[host_id].recover()
+
+    def crashed_hosts(self) -> List[HostId]:
+        """Hosts currently down, sorted."""
+        return sorted(h for h, host in self.hosts.items() if host.crashed)
+
+    def parent_edges(self) -> Dict[HostId, Optional[HostId]]:
+        """Current host parent graph as child -> parent (oracle view)."""
+        return {host_id: host.parent for host_id, host in self.hosts.items()}
+
+    # ------------------------------------------------------------------
     # Workload and convergence (API parity with BroadcastSystem)
     # ------------------------------------------------------------------
 
@@ -175,19 +200,23 @@ class UdpBroadcastSystem:
             self.runtime.start_timer(
                 delay, lambda k=k: self.source.broadcast(content(k + 1)))
 
-    def all_delivered(self, n: int) -> bool:
-        """True when every host has delivered messages 1..n."""
-        return all(self.hosts[h].deliveries.has_all(n) for h in self.host_ids)
+    def all_delivered(self, n: int,
+                      hosts: Optional[List[HostId]] = None) -> bool:
+        """True when every (given) host has delivered messages 1..n."""
+        targets = hosts if hosts is not None else self.host_ids
+        return all(self.hosts[h].deliveries.has_all(n) for h in targets)
 
     async def run_until_delivered(self, n: int, timeout: float,
+                                  hosts: Optional[List[HostId]] = None,
                                   check_period: float = 0.25) -> bool:
-        """Wait until 1..n reach all hosts; both times in protocol seconds."""
+        """Wait until 1..n reach all (given) hosts; times in protocol
+        seconds."""
         deadline = self.runtime.now() + timeout
         while self.runtime.now() < deadline:
-            if self.all_delivered(n):
+            if self.all_delivered(n, hosts):
                 return True
             await asyncio.sleep(check_period * self.runtime.time_scale)
-        return self.all_delivered(n)
+        return self.all_delivered(n, hosts)
 
     def delivered_seqnos(self) -> Dict[str, List[int]]:
         """Per-host sorted delivered sequence numbers (the parity unit)."""

@@ -50,6 +50,13 @@ class SimRuntime:
         self.histogram = sim.metrics.histogram
         self.rng = sim.rng.stream
 
+    @property
+    def trace_sink(self):
+        """The shared :class:`~repro.sim.trace.Tracer` (read side of
+        ``trace``; uniform with ``AsyncioRuntime.trace_sink`` so
+        monitors can consume the trace stream on either backend)."""
+        return self.sim.trace
+
     def now(self) -> float:
         """Current virtual time."""
         return self.sim.now

@@ -15,6 +15,17 @@ The monitor also watches ``host.recovery_delivery`` trace events so a
 chaos run's report carries per-host recovery times (crash → first
 post-recovery delivery) without re-scanning the trace.
 
+Backend-agnostic since the sans-IO port: the monitor speaks the
+:class:`~repro.io.interfaces.Runtime` contract (``start_periodic`` /
+``now`` / ``trace`` plus the ``trace_sink`` record stream both backends
+expose), so the same oracle samples a simulated
+:class:`~repro.core.engine.BroadcastSystem` and a live
+:class:`~repro.io.node.UdpBroadcastSystem` — on the latter, sampling
+runs in scaled wall-clock time and all span durations are protocol
+seconds.  Systems without a ground-truth network object (real UDP has
+no omniscient reachability) treat every pair as reachable, which only
+makes the harmful-cycle check *stricter*.
+
 Like all of :mod:`repro.verify`, this is an oracle: it reads ground
 truth the protocol never sees.
 """
@@ -22,10 +33,9 @@ truth the protocol never sees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
-from ..core.engine import BroadcastSystem
-from ..sim import PeriodicTask
+from ..io.interfaces import Runtime, as_runtime
 from .invariants import find_parent_cycles
 
 #: structural violation key: ("harmful_cycle", h1, h2, ...) or
@@ -83,18 +93,28 @@ class MonitorReport:
 
 
 class InvariantMonitor:
-    """Periodically samples safety invariants over a live system."""
+    """Periodically samples safety invariants over a live system.
+
+    ``system`` is duck-typed: anything exposing ``hosts`` (id → host),
+    ``parent_edges()``, and either a ``sim`` (simulator backend) or a
+    ``runtime`` (:class:`~repro.io.interfaces.Runtime`) attribute works
+    — both :class:`~repro.core.engine.BroadcastSystem` and
+    :class:`~repro.io.node.UdpBroadcastSystem` qualify.
+    """
 
     def __init__(
         self,
-        system: BroadcastSystem,
+        system: Any,
         sample_period: float = 1.0,
         stable_window: float = 20.0,
     ) -> None:
         if sample_period <= 0 or stable_window <= 0:
             raise ValueError("sample_period and stable_window must be positive")
         self.system = system
-        self.sim = system.sim
+        backend = getattr(system, "sim", None)
+        if backend is None:
+            backend = system.runtime
+        self.runtime: Runtime = as_runtime(backend)
         self.sample_period = sample_period
         self.stable_window = stable_window
         self._samples = 0
@@ -104,8 +124,8 @@ class InvariantMonitor:
         self._spans: List[ViolationSpan] = []
         self._recoveries: List[Tuple[str, float]] = []
         self._trace_cursor = 0
-        self._task = PeriodicTask(
-            self.sim, sample_period, self._sample,
+        self._task = self.runtime.start_periodic(
+            sample_period, self._sample,
             rng_stream="verify.monitor", name="invariant_monitor")
 
     def start(self) -> "InvariantMonitor":
@@ -118,12 +138,12 @@ class InvariantMonitor:
 
         Streaks still open when the monitor stops are closed as explicit
         ``unresolved_at_end`` spans rather than silently dropped — a
-        violation active at simulation end is the *most* interesting
-        kind, and downstream properties (the fuzzer's, chiefly) must not
-        miss it just because no later sample saw it disappear.
+        violation active at run end is the *most* interesting kind, and
+        downstream properties (the fuzzer's, chiefly) must not miss it
+        just because no later sample saw it disappear.
         """
         self._task.stop()
-        now = self.sim.now
+        now = self.runtime.now()
         for key in list(self._active):
             first = self._active.pop(key)
             self._spans.append(ViolationSpan(
@@ -133,6 +153,25 @@ class InvariantMonitor:
 
     # ------------------------------------------------------------------
 
+    def _members(self) -> List:
+        """All member host ids, on any system flavor."""
+        built = getattr(self.system, "built", None)
+        if built is not None:
+            return list(built.hosts)
+        return list(self.system.hosts)
+
+    def _reachable(self, a, b) -> bool:
+        """Ground-truth reachability when the backend knows it.
+
+        Real deployments have no omniscient network object; assuming
+        reachability there only widens the set of hosts a cycle is
+        compared against, i.e. makes the harmful-cycle check stricter.
+        """
+        network = getattr(self.system, "network", None)
+        if network is None:
+            return True
+        return bool(network.reachable(a, b))
+
     def _current_violations(self) -> List[ViolationKey]:
         system = self.system
         keys: List[ViolationKey] = []
@@ -140,9 +179,8 @@ class InvariantMonitor:
             cycle_max = max(system.hosts[h].info.max_seqno for h in cycle)
             harmful = any(
                 system.hosts[other].info.max_seqno > cycle_max
-                and any(system.network.reachable(member, other)
-                        for member in cycle)
-                for other in system.built.hosts if other not in cycle)
+                and any(self._reachable(member, other) for member in cycle)
+                for other in self._members() if other not in cycle)
             if harmful:
                 keys.append(("harmful_cycle",
                              *sorted(str(h) for h in cycle)))
@@ -155,14 +193,14 @@ class InvariantMonitor:
         return keys
 
     def _sample(self) -> None:
-        now = self.sim.now
+        now = self.runtime.now()
         self._samples += 1
         current = set(self._current_violations())
         for key in current:
             if key not in self._active:
                 self._active[key] = now
-                self.sim.trace.emit("monitor.violation", "monitor",
-                                    key="/".join(key))
+                self.runtime.trace("monitor.violation", "monitor",
+                                   key="/".join(key))
         for key in [k for k in self._active if k not in current]:
             self._close(key, ended=now)
         self._drain_recoveries()
@@ -177,7 +215,8 @@ class InvariantMonitor:
             stable=(last - first) >= self.stable_window))
 
     def _drain_recoveries(self) -> None:
-        records = self.sim.trace.records(kind="host.recovery_delivery")
+        records = self.runtime.trace_sink.records(
+            kind="host.recovery_delivery")
         for record in records[self._trace_cursor:]:
             self._recoveries.append(
                 (record.source, record.fields["elapsed"]))
@@ -188,7 +227,7 @@ class InvariantMonitor:
     def report(self) -> MonitorReport:
         """Close open streaks against the current clock and report."""
         self._drain_recoveries()
-        now = self.sim.now
+        now = self.runtime.now()
         spans = list(self._spans)
         for key, first in self._active.items():
             spans.append(ViolationSpan(

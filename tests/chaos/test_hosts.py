@@ -98,7 +98,7 @@ def test_host_flapper_stop_cancels_pending_transitions():
     assert pending  # every managed host has its next transition armed
     flapper.heal()
     assert not flapper._pending
-    assert all(event.cancelled for event in pending)
+    assert all(not timer.armed for timer in pending)
     # No transition ever fires again: hosts stay up forever.
     downs = sim.metrics.counter("net.failures.host.down").value
     sim.run(until=200.0)

@@ -1,0 +1,239 @@
+"""ChaosNemesis: the seeded chaos arsenal aimed at real UDP sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.chaos import (
+    AdversarySpec,
+    ChaosNemesis,
+    ChaosSpec,
+    HostChurnSpec,
+    HostOutageSpec,
+    LinkChurnSpec,
+    LinkOutageSpec,
+    PacketFaultSpec,
+    PartitionSpec,
+    ServerOutageSpec,
+    validate_udp_spec,
+)
+from repro.io.crosscheck import (
+    ChaosCrosscheckScenario,
+    chaos_crosscheck,
+    run_udp_chaos_async,
+)
+from repro.io.node import UdpBroadcastSystem, cluster_names
+from repro.net import HostId
+
+
+def make_system(scenario: ChaosCrosscheckScenario) -> UdpBroadcastSystem:
+    return UdpBroadcastSystem(
+        cluster_names(scenario.clusters, scenario.hosts_per_cluster),
+        config=scenario.config(), seed=scenario.seed,
+        time_scale=scenario.time_scale)
+
+
+class TestSpecValidation:
+    def test_backend_agnostic_subset_is_accepted(self):
+        validate_udp_spec(ChaosSpec(
+            heal_by=20.0,
+            host_outages=(HostOutageSpec(host="h1.1", start=2.0, end=5.0),),
+            host_churn=(HostChurnSpec(hosts=("h0.1",)),),
+            packet_faults=(PacketFaultSpec(drop_prob=0.1),)))
+
+    @pytest.mark.parametrize("kind,spec", [
+        ("link_outages", ChaosSpec(heal_by=10.0, link_outages=(
+            LinkOutageSpec(a="h0.0", b="s0", start=1.0, end=2.0),))),
+        ("server_outages", ChaosSpec(heal_by=10.0, server_outages=(
+            ServerOutageSpec(server="s0", start=1.0, end=2.0),))),
+        ("partitions", ChaosSpec(heal_by=10.0, partitions=(
+            PartitionSpec(groups=(("h0.0",), ("h1.0",)),
+                          start=1.0, end=2.0),))),
+        ("link_churn", ChaosSpec(heal_by=10.0, link_churn=(
+            LinkChurnSpec(links=(("h0.0", "s0"),)),))),
+        ("adversaries", ChaosSpec(heal_by=10.0, adversaries=(
+            AdversarySpec(host="h0.1", persona="stale_info"),))),
+    ])
+    def test_sim_only_fault_kinds_are_rejected_by_name(self, kind, spec):
+        with pytest.raises(ValueError, match=kind):
+            validate_udp_spec(spec)
+        with pytest.raises(ValueError, match=kind):
+            ChaosNemesis(object(), spec)
+
+
+class TestNemesisOverUdp:
+    def test_seeded_crash_and_loss_reach_full_delivery_post_heal(self):
+        scenario = ChaosCrosscheckScenario(messages=5)
+
+        async def main():
+            system = make_system(scenario)
+            await system.open()
+            nemesis = ChaosNemesis(system, scenario.chaos_spec())
+            try:
+                nemesis.start()
+                system.broadcast_stream(scenario.messages,
+                                        interval=scenario.interval,
+                                        start_at=scenario.start_at)
+                await nemesis.wait_healed()
+                assert nemesis.healed
+                # The heal-by guarantee: nobody is down past the horizon.
+                assert system.crashed_hosts() == []
+                delivered_all = await system.run_until_delivered(
+                    scenario.messages, timeout=scenario.timeout)
+                victim_crashed = system.runtime.metrics.counter(
+                    "net.failures.host.down").value
+                dropped = system.runtime.metrics.counter(
+                    "chaos.packet.dropped").value
+                return (delivered_all, victim_crashed, dropped,
+                        system.delivered_seqnos(), nemesis.report())
+            finally:
+                nemesis.stop()
+                system.close()
+
+        delivered_all, crashed, dropped, seqnos, report = asyncio.run(main())
+        assert delivered_all, f"post-heal delivery incomplete: {seqnos}"
+        assert crashed >= 1  # the outage actually fired
+        assert dropped >= 1  # the packet chaos actually bit
+        expected = list(range(1, scenario.messages + 1))
+        assert all(v == expected for v in seqnos.values())
+        # The invariant monitor ran over the live UDP trace stream.
+        assert report.samples > 0
+        assert report.clean
+        # The victim's crash -> first post-recovery delivery was observed.
+        assert any(host == str(scenario.crash_host)
+                   for host, _seconds in report.recoveries)
+
+    def test_stop_before_horizon_forces_heal_and_is_idempotent(self):
+        scenario = ChaosCrosscheckScenario(messages=0, heal_by=500.0,
+                                           crash_start=400.0, crash_end=450.0,
+                                           fault_start=0.0, fault_end=500.0)
+
+        async def main():
+            system = make_system(scenario)
+            await system.open()
+            nemesis = ChaosNemesis(system, scenario.chaos_spec())
+            try:
+                nemesis.start()
+                tapped = [t for t in system.transports.values()
+                          if t.tap is not None]
+                assert tapped  # packet chaos is installed
+                nemesis.stop()  # run ends long before the horizon
+                assert nemesis.healed
+                assert all(t.tap is None
+                           for t in system.transports.values())
+                await nemesis.wait_healed()  # resolved: returns at once
+                nemesis.stop()  # idempotent
+                return nemesis.report()
+            finally:
+                system.close()
+
+        report = asyncio.run(main())
+        assert report.clean
+
+    def test_crash_hook_cancels_pending_injections_for_victim(self):
+        # A dup with a huge lag queued toward the victim must die with
+        # the victim's crash, exactly as in-sim (ChaosPlan semantics).
+        scenario = ChaosCrosscheckScenario(
+            messages=3, crash_start=4.0, crash_end=8.0, heal_by=12.0,
+            fault_start=0.0, fault_end=4.0, drop_prob=0.0, corrupt_prob=0.0)
+        spec = ChaosSpec(
+            heal_by=scenario.heal_by,
+            host_outages=(HostOutageSpec(host=scenario.crash_host,
+                                         start=scenario.crash_start,
+                                         end=scenario.crash_end),),
+            packet_faults=(PacketFaultSpec(dst=scenario.crash_host,
+                                           dup_prob=1.0, dup_lag=300.0,
+                                           end=4.0),))
+
+        async def main():
+            system = make_system(scenario)
+            await system.open()
+            nemesis = ChaosNemesis(system, spec)
+            try:
+                nemesis.start()
+                system.broadcast_stream(scenario.messages,
+                                        interval=scenario.interval,
+                                        start_at=1.0)
+                await nemesis.wait_healed()
+                metrics = system.runtime.metrics
+                return (metrics.counter("chaos.packet.duplicated").value,
+                        metrics.counter(
+                            "chaos.packet.cancelled_crashed").value)
+            finally:
+                nemesis.stop()
+                system.close()
+
+        duplicated, cancelled = asyncio.run(main())
+        assert duplicated >= 1
+        assert cancelled == duplicated  # every far-future dup was killed
+
+    def test_monitor_can_be_disabled(self):
+        scenario = ChaosCrosscheckScenario()
+
+        async def main():
+            system = make_system(scenario)
+            await system.open()
+            nemesis = ChaosNemesis(system, scenario.chaos_spec(),
+                                   monitor=False)
+            try:
+                nemesis.start()
+                with pytest.raises(RuntimeError, match="monitor=False"):
+                    nemesis.report()
+                return True
+            finally:
+                nemesis.stop()
+                system.close()
+
+        assert asyncio.run(main())
+
+
+class TestChaosParity:
+    def test_same_seeded_spec_on_both_backends(self):
+        result = chaos_crosscheck(ChaosCrosscheckScenario(messages=5))
+        assert result.udp_complete, result.report()
+        assert result.udp_stable_violations == 0
+        assert result.parity or result.within_tolerance, result.report()
+        assert result.ok
+
+    def test_run_udp_chaos_async_returns_report(self):
+        scenario = ChaosCrosscheckScenario(messages=3, heal_by=12.0,
+                                           crash_start=3.0, crash_end=7.0,
+                                           fault_end=10.0)
+        delivered, report = asyncio.run(run_udp_chaos_async(scenario))
+        assert sorted(delivered) == sorted(
+            str(HostId(f"h{c}.{h}")) for c in range(2) for h in range(2))
+        assert report.samples > 0
+
+    def test_result_tolerance_band(self):
+        from repro.io.crosscheck import ChaosCrosscheckResult
+
+        full = [1, 2, 3, 4]
+        result = ChaosCrosscheckResult(
+            sim_delivered={"h0.0": full, "h0.1": full},
+            udp_delivered={"h0.0": full, "h0.1": [1, 2, 3]},
+            expected=full, tolerance=0.25,
+            udp_stable_violations=0, udp_unresolved_violations=0,
+            udp_recoveries=[])
+        assert not result.parity
+        assert result.within_tolerance  # 1 of 4 missing == 25%
+        assert not result.udp_complete  # ...but completeness is hard
+        assert not result.ok
+        strict = ChaosCrosscheckResult(
+            sim_delivered={"h0.0": full}, udp_delivered={"h0.0": [1, 2]},
+            expected=full, tolerance=0.25,
+            udp_stable_violations=0, udp_unresolved_violations=0,
+            udp_recoveries=[])
+        assert not strict.within_tolerance  # 2 of 4 missing == 50%
+
+    def test_stable_violations_fail_the_verdict(self):
+        from repro.io.crosscheck import ChaosCrosscheckResult
+
+        full = [1, 2]
+        result = ChaosCrosscheckResult(
+            sim_delivered={"h0.0": full}, udp_delivered={"h0.0": full},
+            expected=full, tolerance=0.2,
+            udp_stable_violations=1, udp_unresolved_violations=1,
+            udp_recoveries=[("h0.0", 3.0)])
+        assert result.parity and result.udp_complete
+        assert not result.ok
+        assert "FAILED" in result.report()

@@ -117,8 +117,8 @@ def test_chaos_plan_composes_packet_faults_and_heals():
     sim, built, system = build_system()
     plan = ChaosPlan(sim, system, ChaosSpec(
         heal_by=15.0,
-        packet_faults=(PacketFaultSpec(corrupt_prob=0.5, start=1.0,
-                                       end=100.0),),  # clamped to heal_by
+        # open-ended window: clamped to heal_by when the plan starts
+        packet_faults=(PacketFaultSpec(corrupt_prob=0.5, start=1.0),),
     )).start()
     run_stream(sim, system, until=16.0)
     assert sim.metrics.counter("chaos.packet.corrupted").value > 0
@@ -129,6 +129,19 @@ def test_chaos_plan_composes_packet_faults_and_heals():
     for host in built.network.hosts():
         assert built.network.host_port(host).tap is None
     assert plan  # plan object stays alive for inspection
+
+
+def test_spec_rejects_packet_fault_window_past_heal_by():
+    # A finite rule window reaching past the horizon is a spec bug, not
+    # something to clamp silently; the error must name the rule.
+    with pytest.raises(ValueError, match=r"ends at 100\.0.*heal_by.*15\.0"):
+        ChaosSpec(heal_by=15.0,
+                  packet_faults=(PacketFaultSpec(corrupt_prob=0.5, start=1.0,
+                                                 end=100.0),))
+    # At-the-horizon and open-ended windows are both fine.
+    ChaosSpec(heal_by=15.0,
+              packet_faults=(PacketFaultSpec(corrupt_prob=0.5, end=15.0),))
+    ChaosSpec(heal_by=15.0, packet_faults=(PacketFaultSpec(drop_prob=0.1),))
 
 
 def test_crash_cancels_pending_injections_for_the_victim():

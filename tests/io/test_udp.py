@@ -103,6 +103,8 @@ class TestUdpTransportUnit:
             got = []
             tb.set_receiver(got.append)
             tb.datagram_received(b"not a frame", ("127.0.0.1", 1))
+            # Frames queue and drain on the next loop iteration.
+            await wait_for(lambda: tb.malformed == 1)
             return tb.malformed, got, \
                 runtime.metrics.counter("net.h2h.malformed").value
 
@@ -134,6 +136,162 @@ class TestUdpTransportUnit:
             ta.send_raw(HostId("b"), RawPayload())  # bypasses the tap
             assert await wait_for(lambda: got)
             return len(got), len(outbound)
+
+        assert run(scenario) == (1, 1)
+
+
+def frame_for(dst_name="b", src_name="a"):
+    """A well-formed wire frame, as ``send_raw`` would emit it."""
+    import pickle
+
+    return pickle.dumps((src_name, 0.0, RawPayload()),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class TestUdpTransportHardening:
+    def test_close_is_idempotent(self):
+        async def scenario(runtime, ta, tb):
+            ta.close()
+            ta.close()  # second close is a no-op, not an error
+            ta.close()
+            return True
+
+        assert run(scenario)
+
+    def test_late_datagrams_after_close_counted_and_dropped(self):
+        async def scenario(runtime, ta, tb):
+            got = []
+            tb.set_receiver(got.append)
+            tb.close()
+            # A datagram still crossing the loop when close() landed.
+            tb.datagram_received(frame_for(), ("127.0.0.1", 1))
+            # A chaos-delayed injection outliving the deployment.
+            import pickle
+
+            src, _at, payload = pickle.loads(frame_for())
+            from repro.net import Packet
+
+            tb.inject(Packet(src=HostId(src), dst=tb.host_id,
+                             payload=payload, sent_at=0.0, stamped_at=0.0))
+            return (tb.late_drops, got,
+                    runtime.metrics.counter("net.h2h.late_dropped").value)
+
+        late, got, counted = run(scenario)
+        assert late == 2
+        assert counted == 2
+        assert got == []
+
+    def test_queued_datagrams_are_dropped_and_counted_on_close(self):
+        async def scenario(runtime, ta, tb):
+            got = []
+            tb.set_receiver(got.append)
+            # Queue frames without yielding, then close before the drain.
+            tb.datagram_received(frame_for(), ("127.0.0.1", 1))
+            tb.datagram_received(frame_for(), ("127.0.0.1", 1))
+            tb.close()
+            await asyncio.sleep(0.05)  # the drain would have run by now
+            return (tb.late_drops, got,
+                    runtime.metrics.counter("net.h2h.late_dropped").value)
+
+        late, got, counted = run(scenario)
+        assert late == 2
+        assert counted == 2
+        assert got == []
+
+    def test_transient_send_error_is_retried(self):
+        class FlakySock:
+            """Delegating wrapper whose sendto fails the first N times."""
+
+            def __init__(self, inner, failures):
+                self._inner = inner
+                self.failures = failures
+
+            def sendto(self, data, addr):
+                if self.failures > 0:
+                    self.failures -= 1
+                    raise OSError(105, "No buffer space available")
+                self._inner.sendto(data, addr)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        async def scenario(runtime, ta, tb):
+            got = []
+            tb.set_receiver(got.append)
+            ta._sock = FlakySock(ta._sock, failures=2)
+            ta.send(HostId("b"), RawPayload())
+            assert await wait_for(lambda: got)  # arrived on the 3rd try
+            return (runtime.metrics.counter("net.h2h.send_retry").value,
+                    ta.send_drops)
+
+        retries, drops = run(scenario)
+        assert retries == 2
+        assert drops == 0
+
+    def test_persistent_send_error_becomes_counted_loss(self):
+        class DeadSock:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def sendto(self, data, addr):
+                raise OSError(105, "No buffer space available")
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        async def scenario(runtime, ta, tb):
+            got = []
+            tb.set_receiver(got.append)
+            ta._sock = DeadSock(ta._sock)
+            ta.send(HostId("b"), RawPayload())
+            assert await wait_for(lambda: ta.send_drops == 1)
+            await asyncio.sleep(0.02)
+            return (got,
+                    runtime.metrics.counter("net.h2h.send_dropped").value,
+                    runtime.metrics.counter("net.h2h.send_retry").value)
+
+        got, dropped, retries = run(scenario)
+        assert got == []  # the frame died, quietly
+        assert dropped == 1
+        assert retries == 2  # attempts 2 and 3 were retries
+
+    def test_receive_queue_overflow_sheds_oldest(self):
+        async def scenario(runtime, ta, tb):
+            got = []
+            tb.set_receiver(got.append)
+            tb._recv_queue_limit = 4
+            # Ten bursts before the loop can drain: six must be shed.
+            for _ in range(10):
+                tb.datagram_received(frame_for(), ("127.0.0.1", 1))
+            depth = tb.queue_length()
+            await wait_for(lambda: len(got) == 4)
+            return (depth, len(got),
+                    runtime.metrics.counter("net.h2h.recv_shed").value)
+
+        depth, delivered, shed = run(scenario)
+        assert depth == 4
+        assert delivered == 4
+        assert shed == 6
+
+    def test_bind_conflict_falls_back_to_ephemeral_port(self):
+        async def scenario(runtime, ta, tb):
+            taken = ta._sock.get_extra_info("sockname")[:2]
+            tc = UdpTransport(runtime, HostId("c"), peers={})
+            await tc.open(taken)  # conflicts with ta's socket
+            try:
+                bound = tc._sock.get_extra_info("sockname")[:2]
+                assert bound != taken
+                return runtime.metrics.counter("net.h2h.bind_retry").value
+            finally:
+                tc.close()
+
+        assert run(scenario) >= 1
+
+    def test_socket_errors_counted_not_raised(self):
+        async def scenario(runtime, ta, tb):
+            ta.error_received(OSError(111, "Connection refused"))
+            return (ta.socket_errors,
+                    runtime.metrics.counter("net.h2h.socket_error").value)
 
         assert run(scenario) == (1, 1)
 

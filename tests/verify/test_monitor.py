@@ -145,3 +145,109 @@ def test_monitor_validates_parameters():
         InvariantMonitor(system, sample_period=0.0)
     with pytest.raises(ValueError):
         InvariantMonitor(system, stable_window=-1.0)
+
+
+# ----------------------------------------------------------------------
+# The same oracle on the wall-clock backend (AsyncioRuntime shim)
+# ----------------------------------------------------------------------
+
+
+class _FakeInfo:
+    def __init__(self):
+        self.max_seqno = 0
+
+
+class _FakeHost:
+    def __init__(self):
+        self.info = _FakeInfo()
+        self.parent = None
+
+
+class _FakeWallSystem:
+    """Minimal duck-typed system: no ``sim``, no ``network``, no
+    ``built`` — exactly the attribute shape a UDP deployment has."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.hosts = {HostId("a"): _FakeHost(), HostId("b"): _FakeHost()}
+
+    def parent_edges(self):
+        return {h: host.parent for h, host in self.hosts.items()}
+
+
+def run_wall(coro_fn, time_scale=0.01):
+    """Drive a monitor scenario on a real event loop, 100x compressed."""
+    import asyncio
+
+    from repro.io import AsyncioRuntime
+
+    async def main():
+        runtime = AsyncioRuntime(seed=0, time_scale=time_scale)
+        system = _FakeWallSystem(runtime)
+        return await coro_fn(runtime, system)
+
+    return asyncio.run(main())
+
+
+async def _sleep_protocol(runtime, seconds):
+    import asyncio
+
+    await asyncio.sleep(seconds * runtime.time_scale)
+
+
+def test_monitor_spans_open_and_close_under_wall_clock():
+    async def scenario(runtime, system):
+        monitor = InvariantMonitor(system, sample_period=0.5,
+                                   stable_window=50.0).start()
+        child = system.hosts[HostId("a")]
+        child.parent = HostId("b")
+        child.info.max_seqno = 5  # child ahead of parent: dominance broken
+        await _sleep_protocol(runtime, 3.0)
+        child.info.max_seqno = 0  # resolves
+        await _sleep_protocol(runtime, 3.0)
+        monitor.stop()
+        return monitor.report()
+
+    report = run_wall(scenario)
+    assert report.samples >= 3
+    assert len(report.spans) == 1
+    span = report.spans[0]
+    assert span.key == ("info_dominance", "a", "b")
+    assert not span.unresolved_at_end  # it was seen to resolve
+    assert not span.stable  # transient: far shorter than the window
+    assert report.clean
+
+
+def test_monitor_stop_marks_unresolved_spans_under_wall_clock():
+    async def scenario(runtime, system):
+        monitor = InvariantMonitor(system, sample_period=0.5,
+                                   stable_window=2.0).start()
+        child = system.hosts[HostId("a")]
+        child.parent = HostId("b")
+        child.info.max_seqno = 7  # never resolves
+        await _sleep_protocol(runtime, 4.0)
+        monitor.stop()
+        return monitor.report()
+
+    report = run_wall(scenario)
+    assert len(report.spans) == 1
+    span = report.spans[0]
+    assert span.unresolved_at_end
+    assert span.stable  # persisted past the stable window in real time
+    assert not report.clean
+    assert report.unresolved_violations == (span,)
+
+
+def test_monitor_stop_halts_sampling_on_wall_clock():
+    async def scenario(runtime, system):
+        monitor = InvariantMonitor(system, sample_period=0.5,
+                                   stable_window=5.0).start()
+        await _sleep_protocol(runtime, 2.0)
+        monitor.stop()
+        samples_at_stop = monitor.report().samples
+        await _sleep_protocol(runtime, 2.0)
+        return samples_at_stop, monitor.report().samples
+
+    at_stop, later = run_wall(scenario)
+    assert at_stop >= 1
+    assert later == at_stop  # stop() guaranteed no further ticks
